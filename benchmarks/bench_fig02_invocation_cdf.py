@@ -1,0 +1,33 @@
+"""Fig. 2 — CDF of the number of API invocations per emulated app.
+
+Paper: 5K Monkey events trigger tens of millions of framework-API
+invocations per app — min 15.8M, mean 42.3M, median 39.7M, max 64.6M —
+i.e. one UI event fans out into ~8,460 API calls on average.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import emulate_sample
+from repro.experiments.harness import print_cdf
+
+
+def test_fig02_invocation_cdf(world, once):
+    def run():
+        analyses = emulate_sample(world, tracked_api_ids=[], n_apps=250,
+                                  seed=2)
+        return np.array(
+            [a.result.total_invocations for a in analyses], dtype=float
+        )
+
+    totals = once(run)
+    stats = print_cdf(
+        "Fig 2: API invocations per app (millions; paper mean 42.3M)",
+        totals / 1e6,
+        unit="M",
+    )
+    # Same order of magnitude and right-shaped spread as the paper.
+    assert 15.0 < stats["mean"] < 70.0
+    assert stats["min"] < stats["median"] < stats["max"]
+    per_event = stats["mean"] * 1e6 / 5000
+    # Paper: ~8,460 invocations triggered per Monkey event.
+    assert 2000 < per_event < 20_000

@@ -1,0 +1,39 @@
+"""Fig. 3 — emulation time tracking all APIs vs tracking none.
+
+Paper: with no hooks an app emulates in 2.1 min on average (min 0.57,
+max 5.8); hooking all ~50K APIs inflates that to 53.6 min on average
+(min 14.7, max 106.2) — a ~25x blowup that makes full tracking
+operationally infeasible.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import emulate_sample, minutes_of
+from repro.experiments.harness import print_cdf
+
+
+def test_fig03_tracking_overhead(world, once):
+    def run():
+        none = emulate_sample(world, tracked_api_ids=[], n_apps=150, seed=3)
+        full = emulate_sample(
+            world,
+            tracked_api_ids=np.arange(len(world.sdk)),
+            n_apps=150,
+            seed=3,
+        )
+        return minutes_of(none), minutes_of(full)
+
+    none_min, full_min = once(run)
+    s_none = print_cdf(
+        "Fig 3: emulation minutes, tracking NO API (paper mean 2.1)",
+        none_min,
+    )
+    s_full = print_cdf(
+        "Fig 3: emulation minutes, tracking ALL APIs (paper mean 53.6)",
+        full_min,
+    )
+    assert abs(s_none["mean"] - 2.1) < 0.8
+    assert 35.0 < s_full["mean"] < 75.0
+    # Order-of-magnitude blowup, and distributions do not overlap.
+    assert s_full["mean"] > 15 * s_none["mean"]
+    assert s_full["min"] > s_none["max"]

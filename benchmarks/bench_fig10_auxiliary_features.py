@@ -1,0 +1,65 @@
+"""Fig. 10 — the auxiliary-feature ablation (A / A+P / A+I / P+I / A+P+I).
+
+Paper: key APIs alone (A) give 96.8%/93.7%; adding requested
+permissions (A+P) lifts recall to 96.5%, adding used intents (A+I) to
+94.8%; permissions+intents alone (P+I) already reach 97.5%/94.6%; the
+full combination (A+P+I) is best at 98.6% precision / 96.7% recall —
+reflection- and IPC-hidden behaviour is recovered by the auxiliary
+features.
+"""
+
+import numpy as np
+
+from repro.core.features import FeatureMode
+from repro.experiments.harness import print_table
+from repro.ml.metrics import evaluate
+
+PAPER = {
+    "A": (0.968, 0.937),
+    "A+P": (0.980, 0.965),
+    "A+I": (0.975, 0.948),
+    "P+I": (0.975, 0.946),
+    "A+P+I": (0.986, 0.967),
+}
+
+
+def test_fig10_auxiliary_features(world, fitted_checker_factory, once):
+    test_apps = world.test
+
+    def run():
+        reports = {}
+        for mode in FeatureMode:
+            checker = fitted_checker_factory(mode)
+            verdicts = checker.vet_batch(test_apps)
+            pred = np.array([v.malicious for v in verdicts])
+            reports[mode.value] = evaluate(test_apps.labels, pred)
+        return reports
+
+    reports = once(run)
+    print_table(
+        "Fig 10: feature-family ablation",
+        ["features", "precision", "recall", "F1", "paper p/r"],
+        [
+            [
+                mode,
+                f"{rep.precision:.3f}",
+                f"{rep.recall:.3f}",
+                f"{rep.f1:.3f}",
+                f"{PAPER[mode][0]:.3f}/{PAPER[mode][1]:.3f}",
+            ]
+            for mode, rep in reports.items()
+        ],
+    )
+
+    # Shape: the full combination is at (or within corpus-realization
+    # noise of) the best F1, and the auxiliary families never hurt
+    # recall.  Which exact mode tops a given realization varies by a few
+    # false positives; the paper's ordering is the central tendency.
+    f1 = {m: r.f1 for m, r in reports.items()}
+    assert f1["A+P+I"] >= max(f1.values()) - 0.06
+    assert reports["A+P"].recall >= reports["A"].recall - 0.015
+    assert reports["A+I"].recall >= reports["A"].recall - 0.015
+    if world.profile.name != "smoke":
+        # Headline operating point: nineties precision and recall.
+        assert reports["A+P+I"].precision > 0.9
+        assert reports["A+P+I"].recall > 0.88

@@ -1,0 +1,33 @@
+"""Fig. 14 — evolution of the key-API set size over 12 months.
+
+Paper: monthly re-selection over the growing corpus and the evolving
+Android SDK moves the key-API count only slightly — between 425 and 432
+across the year — so per-app detection time stays stable.
+"""
+
+import numpy as np
+
+from repro.experiments.harness import print_table
+
+
+def test_fig14_evolution(world, evolution_history, once):
+    history = once(lambda: evolution_history)
+
+    print_table(
+        "Fig 14: key-API count by month (paper: 425-432)",
+        ["month"] + [str(r.month) for r in history],
+        [
+            ["#keys"] + [str(r.n_key_apis) for r in history],
+            ["SDK size"] + [str(r.sdk_size) for r in history],
+        ],
+    )
+
+    sizes = np.array([r.n_key_apis for r in history])
+    sdk_sizes = np.array([r.sdk_size for r in history])
+    # The SDK grew during the year (new releases every few months).
+    assert sdk_sizes[-1] > sdk_sizes[0]
+    # Shape: the key set drifts but only mildly — the paper saw a 7-API
+    # band around 426; we allow a proportional band at our scale.
+    assert sizes.min() > 0.85 * sizes.max()
+    mean = sizes.mean()
+    assert np.all(np.abs(sizes - mean) < 0.12 * mean)

@@ -1,0 +1,76 @@
+"""Fig. 15 + §5.4 — accuracy/time trade-off over top-k important keys.
+
+Paper: ranking the 426 key APIs by Gini importance, F1 saturates
+quickly: tracking only the top-150 keys keeps detection at 98.3%/96.6%
+(vs 98.6%/96.7% for all 426) while mean analysis time falls from 4.3 to
+2.5 minutes — enabling detection on low-end machines.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import emulate_sample, minutes_of
+from repro.experiments.harness import print_series, print_table
+from repro.ml.forest import RandomForest
+from repro.ml.metrics import evaluate
+
+K_GRID = (10, 25, 50, 100, 150, 250)
+
+
+def test_fig15_topk_tradeoff(world, once):
+    keys = world.selection.key_api_ids
+    X_train = world.train_api_matrix[:, keys]
+    X_test = world.test_api_matrix[:, keys]
+    y_train = world.train.labels.astype(np.int8)
+    y_test = world.test.labels
+
+    def run():
+        ranker = RandomForest(
+            n_trees=world.profile.rf_trees, seed=15
+        ).fit(X_train, y_train)
+        order = np.argsort(ranker.feature_importances_)[::-1]
+        full_rep = evaluate(y_test, ranker.predict(X_test))
+        full_time = minutes_of(
+            emulate_sample(world, tracked_api_ids=keys, n_apps=60, seed=15)
+        ).mean()
+        series = []
+        for k in [k for k in K_GRID if k < keys.size] + [keys.size]:
+            cols = np.sort(order[:k])
+            rf = RandomForest(
+                n_trees=world.profile.rf_trees, seed=16
+            ).fit(X_train[:, cols], y_train)
+            rep = evaluate(y_test, rf.predict(X_test[:, cols]))
+            tracked = keys[cols]
+            t = minutes_of(
+                emulate_sample(
+                    world, tracked_api_ids=tracked, n_apps=60, seed=16
+                )
+            ).mean()
+            series.append((k, rep.f1, float(t)))
+        return series, full_rep, float(full_time)
+
+    series, full_rep, full_time = once(run)
+    print_table(
+        "Fig 15: F1 and minutes vs top-k important keys "
+        "(paper: top-150 keeps 98.3/96.6 at 2.5 min vs 4.3 min)",
+        ["k", "F1", "minutes"],
+        [[k, f"{f:.3f}", f"{t:.2f}"] for k, f, t in series],
+    )
+
+    print_series(
+        "Fig 15 (plot): minutes vs top-k important keys",
+        [k for k, _, _ in series],
+        [t for _, _, t in series],
+        x_label="k", y_label="minutes",
+    )
+    f1_by_k = {k: f for k, f, _ in series}
+    t_by_k = {k: t for k, _, t in series}
+    ks = sorted(f1_by_k)
+    k150 = min(ks, key=lambda k: abs(k - 150))
+    # Shape: a mid-sized important subset retains nearly all accuracy...
+    assert f1_by_k[k150] > full_rep.f1 - 0.03
+    # ...while costing visibly less analysis time than the full key set.
+    # (Partial reproduction: the paper cuts 4.3 -> 2.5 min; here the
+    # benign-borne key cost is spread more evenly, so the cut is ~10-25%.)
+    assert t_by_k[k150] < t_by_k[ks[-1]] * 0.97
+    # Tiny k loses accuracy.
+    assert f1_by_k[ks[0]] <= max(f1_by_k.values())

@@ -1,0 +1,55 @@
+"""Fig. 16 — emulation time CDF: no APIs vs top-150 vs all key APIs.
+
+Paper: on the Google emulator, per-app time is 2.1 min with no
+tracking, 2.5 min tracking the top-150 important keys, and 4.3 min
+tracking all 426 — the reduced set sits close to the no-tracking floor.
+"""
+
+import numpy as np
+
+from benchmarks.helpers import emulate_sample, minutes_of
+from repro.experiments.harness import print_cdf
+from repro.ml.forest import RandomForest
+
+
+def test_fig16_reduced_set(world, once):
+    keys = world.selection.key_api_ids
+    X_train = world.train_api_matrix[:, keys]
+    y_train = world.train.labels.astype(np.int8)
+
+    def run():
+        ranker = RandomForest(
+            n_trees=world.profile.rf_trees, seed=17
+        ).fit(X_train, y_train)
+        order = np.argsort(ranker.feature_importances_)[::-1]
+        top150 = keys[np.sort(order[: min(150, keys.size)])]
+        none_t = minutes_of(
+            emulate_sample(world, tracked_api_ids=[], n_apps=150, seed=17)
+        )
+        top_t = minutes_of(
+            emulate_sample(world, tracked_api_ids=top150, n_apps=150,
+                           seed=17)
+        )
+        all_t = minutes_of(
+            emulate_sample(world, tracked_api_ids=keys, n_apps=150,
+                           seed=17)
+        )
+        return none_t, top_t, all_t
+
+    none_t, top_t, all_t = once(run)
+    s_none = print_cdf("Fig 16: no API tracked (paper mean 2.1)", none_t)
+    s_top = print_cdf("Fig 16: top-150 keys tracked (paper mean 2.5)", top_t)
+    s_all = print_cdf("Fig 16: all keys tracked (paper mean 4.3)", all_t)
+
+    # Shape: strict ordering, with the reduced set near the floor.
+    assert s_none["mean"] <= s_top["mean"] + 0.2
+    assert s_top["mean"] < s_all["mean"]
+    assert abs(s_none["mean"] - 2.1) < 0.8
+    if world.profile.name != "smoke":
+        # Partial reproduction: the paper's reduced set keeps only ~19%
+        # of the tracking overhead; here the benign-borne key cost is
+        # spread more evenly across the key set, so the reduced set
+        # keeps a larger (but still clearly smaller) share.
+        assert s_top["mean"] - s_none["mean"] < 0.9 * (
+            s_all["mean"] - s_none["mean"]
+        )

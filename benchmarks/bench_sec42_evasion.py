@@ -1,0 +1,83 @@
+"""§4.2 — the anti-evasion controlled experiment.
+
+Paper: running an unbiased 1% sample on real devices, the stock Google
+emulator, and the four-fold hardened emulator: only 86.6% of apps
+invoke the same number of APIs on the stock emulator as on real
+hardware (probe-equipped malware goes quiet), versus 98.6% on the
+hardened emulator; the remaining 1.4% require real-time data from
+special sensors no emulator can synthesize.
+"""
+
+import numpy as np
+
+from repro.emulator.backends import GoogleEmulator, RealDevice
+from repro.emulator.device import DeviceEnvironment
+from repro.emulator.hooks import HookEngine
+from repro.emulator.monkey import MonkeyExerciser
+from repro.emulator.runtime import emulate_app
+from repro.experiments.harness import print_table
+
+
+def _invoked_counts(world, env, backend, apps, seed):
+    """Per-app rng seeded from the APK hash: apps whose behaviour does
+    not depend on the environment then produce *identical* invocation
+    sets in every environment, so parity differences isolate evasion."""
+    hooks = HookEngine(world.sdk, [])
+    counts = []
+    for apk in apps:
+        rng = np.random.default_rng((seed, int(apk.md5[:12], 16)))
+        result = emulate_app(
+            apk, world.sdk, backend, env, hooks,
+            monkey=MonkeyExerciser(seed=seed),
+            rng=rng, raise_on_crash=False,
+        )
+        counts.append(len(result.invoked_api_ids))
+    return counts
+
+
+def test_sec42_evasion(world, once):
+    rng = np.random.default_rng(world.profile.seed + 42)
+    sample = world.train.sample_fraction(
+        max(0.01, 200 / len(world.train)), rng
+    )
+    apps = list(sample)
+
+    def run():
+        # The same seed across environments reproduces identical UI
+        # exploration, isolating the environment's effect.
+        real = _invoked_counts(
+            world, DeviceEnvironment.real_device(), RealDevice(), apps, 7
+        )
+        stock = _invoked_counts(
+            world, DeviceEnvironment.stock_emulator(), GoogleEmulator(),
+            apps, 7,
+        )
+        hard = _invoked_counts(
+            world, DeviceEnvironment.hardened_emulator(), GoogleEmulator(),
+            apps, 7,
+        )
+        return np.array(real), np.array(stock), np.array(hard)
+
+    real, stock, hard = once(run)
+    # "Same number of APIs as on the real device", with a small slack
+    # for run-to-run sampling noise in invocation counts.
+    tol = np.maximum(3, 0.02 * real)
+    stock_parity = float(np.mean(np.abs(stock - real) <= tol))
+    hard_parity = float(np.mean(np.abs(hard - real) <= tol))
+    print_table(
+        "§4.2: API-count parity with real devices "
+        "(paper: stock 86.6%, hardened 98.6%)",
+        ["environment", "parity"],
+        [
+            ["stock emulator", f"{stock_parity:.3f}"],
+            ["hardened emulator", f"{hard_parity:.3f}"],
+        ],
+    )
+
+    # Shape: hardening closes most of the gap but not all of it
+    # (live-sensor apps remain).
+    assert hard_parity > stock_parity
+    assert hard_parity > 0.9
+    if world.profile.name != "smoke":
+        assert 0.75 < stock_parity < 0.97
+        assert hard_parity > 0.93

@@ -1,0 +1,121 @@
+"""Table 1 — related-work comparison.
+
+Paper: representative API-centric detectors differ in analysis method,
+per-app analysis time, API budget, and accuracy; APICHECKER (dynamic,
+426 APIs, 78 s/app) reports 98.6% precision / 96.7% recall, topping the
+dynamic systems while being an order of magnitude faster than the
+long-running ones (Yang et al. 1080 s, DroidDolphin 1020 s).
+"""
+
+import numpy as np
+
+from repro.baselines import ALL_BASELINES
+from repro.experiments.harness import print_table
+
+PAPER_ROWS = {
+    "Sharma et al.": (None, 35, 0.912, 0.975),
+    "DroidAPIMiner": (25.0, 169, None, None),
+    "Yang et al.": (1080.0, 19, 0.928, 0.849),
+    "DroidCat": (354.0, 27, 0.975, 0.973),
+    "DroidDolphin": (1020.0, 25, 0.90, 0.82),
+    "DREBIN": (10.0, None, None, None),
+    "APICHECKER": (78.0, 426, 0.986, 0.967),
+}
+
+
+def test_table1_related_work(world, fitted_checker_factory, once):
+    train_apps = list(world.train)
+    train_labels = world.train.labels
+    test_apps = list(world.test)
+    test_labels = world.test.labels
+    # Dynamic baselines re-emulate every app; cap their corpora so the
+    # bench stays tractable (noted in the output).
+    dyn_cap = min(len(train_apps), 400)
+    dyn_test_cap = min(len(test_apps), 250)
+
+    def run():
+        rows = []
+        for cls in ALL_BASELINES:
+            detector = cls(world.sdk, seed=3)
+            if detector.analysis_method == "static":
+                detector.fit(train_apps, train_labels)
+                row = detector.table_row(
+                    test_apps, test_labels, n_apps_studied=len(train_apps)
+                )
+            else:
+                detector.fit(train_apps[:dyn_cap], train_labels[:dyn_cap])
+                row = detector.table_row(
+                    test_apps[:dyn_test_cap],
+                    test_labels[:dyn_test_cap],
+                    n_apps_studied=dyn_cap,
+                )
+            rows.append(row)
+        checker = fitted_checker_factory()
+        verdicts = checker.vet_batch(test_apps[:dyn_test_cap])
+        from repro.ml.metrics import evaluate
+
+        pred = np.array([v.malicious for v in verdicts])
+        rep = evaluate(test_labels[:dyn_test_cap], pred)
+        seconds = float(
+            np.mean([v.analysis_minutes for v in verdicts]) * 60
+        )
+        rows.append(
+            (
+                "APICHECKER",
+                "hybrid",
+                "dynamic",
+                seconds,
+                int(checker.key_api_ids.size),
+                len(train_apps),
+                rep.precision,
+                rep.recall,
+            )
+        )
+        return rows
+
+    rows = once(run)
+
+    table = []
+    by_name = {}
+    for row in rows:
+        if isinstance(row, tuple):
+            name, strategy, method, secs, n_apis, n_apps, p, r = row
+        else:
+            name, strategy, method = row.system, row.strategy, row.method
+            secs, n_apis, n_apps = (
+                row.analysis_seconds_per_app, row.n_apis, row.n_apps
+            )
+            p, r = row.precision, row.recall
+        by_name[name] = (secs, p, r)
+        paper = PAPER_ROWS.get(name, (None,) * 4)
+        table.append(
+            [
+                name,
+                method,
+                f"{secs:.0f}s",
+                n_apis,
+                n_apps,
+                f"{p:.3f}/{r:.3f}",
+                f"paper: {paper[0] or '--'}s, "
+                f"{paper[2] if paper[2] is not None else '--'}/"
+                f"{paper[3] if paper[3] is not None else '--'}",
+            ]
+        )
+    print_table(
+        "Table 1: related-work comparison (measured vs paper)",
+        ["system", "method", "t/app", "#APIs", "#apps", "prec/recall",
+         "paper"],
+        table,
+    )
+
+    # Shape assertions: APICHECKER beats the dynamic baselines' recall
+    # and is far faster than the long-running dynamic analyses.
+    ours = by_name["APICHECKER"]
+    for slow in ("Yang et al.", "DroidDolphin"):
+        assert ours[0] < by_name[slow][0] / 4
+        assert ours[2] >= by_name[slow][2]
+    # Static analysis is quick but APICHECKER's accuracy leads overall
+    # (asserted at bench scale; smoke corpora are too small for stable
+    # baseline comparisons).
+    if len(train_apps) >= 1500:
+        assert ours[1] >= max(p for _, p, _ in by_name.values()) - 0.1

@@ -1,0 +1,92 @@
+"""Table 2 — nine classifiers, tracking all APIs vs the 426 keys.
+
+Paper: with all ~50K APIs tracked, random forest leads at 91.6%/90.2%
+(precision/recall); with the 426 keys every model improves (RF:
+96.8%/93.7%) and training shrinks by orders of magnitude (RF 29.1 min →
+14.4 s; SVM slowest both times).  Key shape: (1) fewer, better-chosen
+features beat the full feature set; (2) RF offers the best
+accuracy/training-time balance; (3) NB is far behind.
+"""
+
+import numpy as np
+
+from repro.experiments.harness import print_table
+from repro.ml import CLASSIFIER_NAMES, cross_validate, make_classifier
+
+PAPER = {
+    "nb": (0.604, 0.596, 0.641, 0.636),
+    "lr": (0.812, 0.703, 0.899, 0.724),
+    "svm": (0.879, 0.716, 0.962, 0.801),
+    "gbdt": (0.884, 0.743, 0.962, 0.779),
+    "knn": (0.865, 0.837, 0.953, 0.933),
+    "cart": (0.876, 0.843, 0.943, 0.937),
+    "ann": (0.908, 0.899, 0.960, 0.934),
+    "dnn": (0.915, 0.909, 0.964, 0.937),
+    "rf": (0.916, 0.902, 0.968, 0.937),
+}
+
+N_FOLDS = 5
+#: Cap the CV corpus so the 9x2 cross-validation grid stays tractable.
+MAX_APPS = 2000
+
+
+def test_table2_classifiers(world, once):
+    X_full = world.train_api_matrix[:MAX_APPS]
+    labels = world.train.labels.astype(np.int8)[:MAX_APPS]
+    X_keys = X_full[:, world.selection.key_api_ids]
+
+    def run():
+        results = {}
+        for name in CLASSIFIER_NAMES:
+            res_keys = cross_validate(
+                lambda: make_classifier(name, seed=5),
+                X_keys, labels, n_splits=N_FOLDS, seed=5,
+            )
+            res_full = cross_validate(
+                lambda: make_classifier(name, seed=5),
+                X_full, labels, n_splits=N_FOLDS, seed=5,
+            )
+            results[name] = (res_full, res_keys)
+        return results
+
+    results = once(run)
+
+    rows = []
+    for name in CLASSIFIER_NAMES:
+        res_full, res_keys = results[name]
+        paper = PAPER[name]
+        rows.append(
+            [
+                name,
+                f"{res_full.precision:.3f}/{res_full.recall:.3f}",
+                f"{res_keys.precision:.3f}/{res_keys.recall:.3f}",
+                f"{res_full.train_seconds:.1f}s",
+                f"{res_keys.train_seconds:.1f}s",
+                f"paper: {paper[0]:.3f}/{paper[1]:.3f} -> "
+                f"{paper[2]:.3f}/{paper[3]:.3f}",
+            ]
+        )
+    print_table(
+        "Table 2: classifiers, all APIs vs key APIs (prec/recall)",
+        ["model", "all-APIs", "key-APIs", "t(all)", "t(keys)", "paper"],
+        rows,
+    )
+
+    f1 = lambda r: r.pooled.f1
+    keys_f1 = {n: f1(results[n][1]) for n in CLASSIFIER_NAMES}
+    full_f1 = {n: f1(results[n][0]) for n in CLASSIFIER_NAMES}
+    # Shape assertions hold at bench scale and above; the smoke profile
+    # is too small for stable SRC mining.
+    if world.profile.name != "smoke":
+        # Shape 1: the strategically selected key set matches (or beats)
+        # tracking every API.
+        assert keys_f1["rf"] >= full_f1["rf"] - 0.02
+        # Shape 2: RF is at (or within a hair of) the top on the key set.
+        assert keys_f1["rf"] >= max(keys_f1.values()) - 0.03
+        # Shape 3: naive Bayes trails the field badly.
+        assert keys_f1["nb"] <= keys_f1["rf"] - 0.05
+    # Shape 4: training on ~10x fewer features is much cheaper for the
+    # deployed model.
+    assert (
+        results["rf"][1].train_seconds < results["rf"][0].train_seconds
+    )

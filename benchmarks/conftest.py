@@ -1,0 +1,105 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one table or figure of the paper at the scale
+profile selected by ``REPRO_SCALE`` (default: ``bench``).  The world —
+SDK, corpora, and the expensive all-API study pass — is memoized across
+the whole benchmark session, so the suite pays for it once.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated rows/series next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checker import ApiChecker
+from repro.core.features import FeatureMode
+from repro.experiments.config import profile_from_env
+from repro.experiments.harness import World, build_world
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return profile_from_env()
+
+
+@pytest.fixture(scope="session")
+def world(profile) -> World:
+    w = build_world(profile)
+    print(f"\n{profile.scale_note}")
+    return w
+
+
+_CHECKER_CACHE: dict[str, ApiChecker] = {}
+
+
+@pytest.fixture(scope="session")
+def fitted_checker_factory(world):
+    """Fit-once ApiChecker per feature mode, shared across benches."""
+
+    def factory(mode: FeatureMode = FeatureMode.API) -> ApiChecker:
+        key = mode.value
+        if key not in _CHECKER_CACHE:
+            checker = ApiChecker(
+                world.sdk,
+                feature_mode=mode,
+                seed=world.profile.seed + 21,
+            )
+            checker.fit(
+                world.train,
+                study_observations=list(world.train_observations),
+            )
+            _CHECKER_CACHE[key] = checker
+        return _CHECKER_CACHE[key]
+
+    yield factory
+    _CHECKER_CACHE.clear()
+
+
+_EVOLUTION_CACHE: dict[str, list] = {}
+
+
+@pytest.fixture(scope="session")
+def evolution_history(profile):
+    """Twelve months of online operation (shared by Figs. 12 and 14).
+
+    The evolution loop gets its own world: the SDK grows over the year,
+    so it cannot share the static benchmark world.
+    """
+    if "history" not in _EVOLUTION_CACHE:
+        from repro.android.sdk import AndroidSdk, SdkSpec
+        from repro.core.evolution import EvolutionLoop
+        from repro.corpus.market import MarketStream
+
+        sdk = AndroidSdk.generate(
+            SdkSpec(n_apis=profile.n_apis, seed=profile.seed + 40)
+        )
+        per_month = max(150, profile.n_train // 8)
+        stream = MarketStream(
+            sdk,
+            apps_per_month=per_month,
+            seed=profile.seed + 41,
+            sdk_update_every=4,
+            sdk_growth=max(40, profile.n_apis // 80),
+        )
+        initial = stream.bootstrap_corpus(max(600, profile.n_train // 2))
+        loop = EvolutionLoop(
+            stream,
+            initial,
+            max_pool=max(1200, profile.n_train),
+            checker_seed=profile.seed + 42,
+        )
+        _EVOLUTION_CACHE["history"] = loop.run(12)
+    return _EVOLUTION_CACHE["history"]
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

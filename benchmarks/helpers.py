@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import DynamicAnalysisEngine
+from repro.emulator.backends import EmulatorBackend, GoogleEmulator
+
+
+def emulate_sample(
+    world,
+    tracked_api_ids,
+    n_apps: int = 200,
+    backend: EmulatorBackend | None = None,
+    monkey_events: int = 5000,
+    seed: int = 0,
+    corpus=None,
+):
+    """Emulate a corpus sample and return the per-app analyses.
+
+    Uses the Google emulator with no fallback by default (the paper's
+    measurement-study configuration).
+    """
+    corpus = corpus if corpus is not None else world.test
+    apps = list(corpus)[:n_apps]
+    engine = DynamicAnalysisEngine(
+        world.sdk,
+        tracked_api_ids=tracked_api_ids,
+        primary=backend or GoogleEmulator(),
+        fallback=None,
+        monkey_events=monkey_events,
+        seed=world.profile.seed + seed,
+    )
+    return engine.analyze_corpus(apps)
+
+
+def minutes_of(analyses) -> np.ndarray:
+    return np.array([a.total_minutes for a in analyses])

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many servers does a market of size X need?
+
+Fits the per-app analysis-time distribution from actual APICHECKER
+vetting runs, then sizes deployments for several daily volumes —
+including the paper's operating point (one 16-slot server for ~10K
+apps/day) — with queueing-delay estimates and monthly-report
+confidence intervals.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AndroidSdk, ApiChecker, CorpusGenerator, SdkSpec
+from repro.core.capacity import AnalysisLoadModel, CapacityPlanner
+from repro.ml.bootstrap import bootstrap_metrics
+
+
+def main() -> None:
+    print("== Measure the per-app analysis-time distribution ==")
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=2000, seed=51))
+    generator = CorpusGenerator(sdk, seed=52)
+    train = generator.generate(1200)
+    checker = ApiChecker(sdk, seed=53).fit(train)
+    sample = generator.generate(300)
+    verdicts = checker.vet_batch(sample)
+    minutes = np.array([v.analysis_minutes for v in verdicts])
+    load = AnalysisLoadModel.from_samples(minutes)
+    print(
+        f"measured: mean {load.mean_minutes:.2f} min/app, CV^2 "
+        f"{load.cv2:.2f} over {len(minutes)} scans "
+        "(paper: 1.92 min end-to-end)"
+    )
+
+    print("\n== Provisioning table ==")
+    planner = CapacityPlanner(load, max_utilization=0.9)
+    header = (
+        f"{'apps/day':>10} {'servers':>8} {'slots':>6} {'util':>6} "
+        f"{'wait(min)':>10} {'headroom/day':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for volume in (2_000, 10_000, 30_000, 100_000, 500_000):
+        plan = planner.plan(volume)
+        print(
+            f"{volume:>10,} {plan.servers:>8} {plan.slots:>6} "
+            f"{plan.utilization:>6.0%} {plan.mean_wait_minutes:>10.2f} "
+            f"{plan.headroom_apps_per_day:>13,.0f}"
+        )
+    print(
+        "\npaper's deployment: 10K/day on a single 16-slot server -> "
+        f"this model needs {planner.servers_needed(10_000)} server(s)"
+    )
+
+    print("\n== Monthly report with confidence intervals ==")
+    predicted = np.array([v.malicious for v in verdicts])
+    report = bootstrap_metrics(sample.labels, predicted, seed=54)
+    print(f"precision {report.precision}")
+    print(f"recall    {report.recall}")
+    print(f"F1        {report.f1}")
+    print(
+        "(the paper's Fig. 12 bands, 98.5-99.0 / 96.5-97.0, are "
+        "month-to-month point estimates; intervals like these tell an "
+        "operator whether a dip is drift or noise)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Anti-evasion study: stock vs hardened emulator vs real device (§4.2).
+
+Malware probes its environment (default IMEI, build properties,
+robotic input timing, dead sensors, Xposed artifacts) and goes quiet
+when it detects an emulator.  The paper hardens its emulators four
+ways and shows API-count parity with real devices rising from 86.6%
+to 98.6%.  This example reproduces the controlled experiment and then
+ablates each hardening measure individually.
+
+Run:  python examples/evasion_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AndroidSdk, CorpusGenerator, SdkSpec
+from repro.emulator.backends import GoogleEmulator, RealDevice
+from repro.emulator.device import DeviceEnvironment
+
+SAMPLE = 250
+
+
+def invoked_counts(sdk, apps, env, backend, seed=7):
+    """Per-app rng seeded from the APK hash: environment-independent
+    apps then behave identically everywhere, isolating evasion."""
+    from repro.emulator.hooks import HookEngine
+    from repro.emulator.monkey import MonkeyExerciser
+    from repro.emulator.runtime import emulate_app
+
+    hooks = HookEngine(sdk, [])
+    counts = []
+    for apk in apps:
+        rng = np.random.default_rng((seed, int(apk.md5[:12], 16)))
+        result = emulate_app(
+            apk, sdk, backend, env, hooks,
+            monkey=MonkeyExerciser(seed=seed), rng=rng,
+            raise_on_crash=False,
+        )
+        counts.append(len(result.invoked_api_ids))
+    return np.array(counts)
+
+
+def parity(reference, counts):
+    tolerance = np.maximum(3, 0.02 * reference)
+    return float(np.mean(np.abs(counts - reference) <= tolerance))
+
+
+def main() -> None:
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=2000, seed=31))
+    generator = CorpusGenerator(sdk, seed=32)
+    corpus = generator.generate(SAMPLE, malware_rate=0.25)
+    apps = list(corpus)
+    print(
+        f"sample: {len(apps)} apps, {corpus.malicious_count} malicious "
+        "(enriched so suppression is visible)"
+    )
+
+    real = invoked_counts(
+        sdk, apps, DeviceEnvironment.real_device(), RealDevice()
+    )
+    stock = invoked_counts(
+        sdk, apps, DeviceEnvironment.stock_emulator(), GoogleEmulator()
+    )
+    hardened = invoked_counts(
+        sdk, apps, DeviceEnvironment.hardened_emulator(), GoogleEmulator()
+    )
+    print(
+        f"\nAPI-count parity with real devices:\n"
+        f"  stock emulator    : {parity(real, stock):.1%}  (paper 86.6%)\n"
+        f"  hardened emulator : {parity(real, hardened):.1%}  (paper 98.6%)"
+    )
+
+    print("\nAblation: hardened emulator minus one measure at a time")
+    measures = (
+        ("identifiers_masked", "randomized IMEI/IMSI"),
+        ("build_props_masked", "realistic build properties"),
+        ("network_props_masked", "plausible network state"),
+        ("input_humanized", "humanized Monkey timing"),
+        ("sensors_replayed", "replayed sensor traces"),
+        ("xposed_obfuscated", "obfuscated hook artifacts"),
+    )
+    for flag, label in measures:
+        env = DeviceEnvironment.hardened_emulator().with_flag(**{flag: False})
+        counts = invoked_counts(sdk, apps, env, GoogleEmulator())
+        print(f"  without {label:<28}: parity {parity(real, counts):.1%}")
+
+    limited = [a for a in apps if a.dex.needs_live_sensors]
+    print(
+        f"\napps needing live special sensors (never fully emulable): "
+        f"{len(limited)}/{len(apps)} (paper: 1.4%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

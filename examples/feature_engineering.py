@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Feature engineering walkthrough: why A+P+I beats API bits alone.
+
+Reproduces §4.5's argument end to end: malware hides key-API calls
+behind reflection and intent delegation, API-only features miss those
+apps, and the auxiliary permission/intent features win them back.
+
+Run:  python examples/feature_engineering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AndroidSdk,
+    ApiChecker,
+    AppCorpus,
+    CorpusGenerator,
+    FeatureMode,
+    SdkSpec,
+)
+from repro.ml.metrics import evaluate
+
+
+def main() -> None:
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=2500, seed=41))
+    generator = CorpusGenerator(sdk, seed=42)
+    train = generator.generate(1500)
+    test = generator.generate(600)
+
+    # Run the expensive study emulation once and share it across modes.
+    print("running the all-API study emulation once...")
+    probe = ApiChecker(sdk, seed=43)
+    study_obs = probe.study_engine().observations(train)
+
+    print("\n== Fig. 10 ablation ==")
+    reports = {}
+    checkers = {}
+    for mode in FeatureMode:
+        checker = ApiChecker(sdk, feature_mode=mode, seed=43)
+        checker.fit(train, study_observations=list(study_obs))
+        verdicts = checker.vet_batch(test)
+        pred = np.array([v.malicious for v in verdicts])
+        reports[mode] = evaluate(test.labels, pred)
+        checkers[mode] = checker
+        rep = reports[mode]
+        print(
+            f"  {mode.value:6s} precision={rep.precision:.3f} "
+            f"recall={rep.recall:.3f} F1={rep.f1:.3f}"
+        )
+    print("  (paper: A 96.8/93.7 -> A+P+I 98.6/96.7)")
+
+    print("\n== Who hides, and who gets caught ==")
+    hiders = []
+    while len(hiders) < 40:
+        apk = generator.sample_app(malicious=True)
+        if len(apk.dex.reflection_api_ids) >= 5 or len(
+            apk.dex.sent_intents
+        ) >= 4:
+            hiders.append(apk)
+    hider_corpus = AppCorpus(sdk, hiders)
+    for mode in (FeatureMode.A, FeatureMode.API):
+        verdicts = checkers[mode].vet_batch(hider_corpus)
+        caught = sum(v.malicious for v in verdicts)
+        print(
+            f"  {mode.value:6s} catches {caught}/{len(hiders)} "
+            "evasive malware samples"
+        )
+
+    print("\n== Why permissions betray reflection ==")
+    apk = hiders[0]
+    hidden = apk.dex.reflection_api_ids[:5]
+    print(f"  sample: {apk.package_name} ({apk.family})")
+    for api_id in hidden:
+        api = sdk.api(api_id)
+        perm = api.permission or "(no permission)"
+        print(f"    hides {api.short_name:<40} -> manifest still needs {perm}")
+
+
+if __name__ == "__main__":
+    main()

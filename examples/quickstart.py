@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: train APICHECKER on a synthetic market and vet new apps.
+
+Walks the full pipeline in ~a minute:
+
+1. generate a synthetic Android SDK and a labelled app corpus,
+2. run the study phase (all-API dynamic analysis) and mine the key
+   APIs with the paper's four-step strategy,
+3. train the random-forest classifier on A+P+I features,
+4. vet a batch of fresh submissions and report accuracy and speed.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AndroidSdk, ApiChecker, CorpusGenerator, SdkSpec
+
+
+def main() -> None:
+    print("== 1. Build the world ==")
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=2500, seed=1))
+    generator = CorpusGenerator(sdk, seed=2)
+    train = generator.generate(1500)
+    fresh = generator.generate(500)
+    print(
+        f"SDK: {len(sdk)} framework APIs | training corpus: {len(train)} "
+        f"apps ({train.malicious_count} malicious, "
+        f"{train.update_fraction():.0%} updates)"
+    )
+
+    print("\n== 2 + 3. Study phase, key-API mining, training ==")
+    checker = ApiChecker(sdk, seed=3)
+    checker.fit(train)
+    selection = checker.selection
+    print(
+        f"Set-C (mined): {selection.set_c.size} | "
+        f"Set-P (restrictive permissions): {selection.set_p.size} | "
+        f"Set-S (sensitive operations): {selection.set_s.size} | "
+        f"key-API union: {selection.n_keys} (paper: 426)"
+    )
+
+    print("\n== 4. Vet fresh submissions ==")
+    verdicts = checker.vet_batch(fresh)
+    predicted = np.array([v.malicious for v in verdicts])
+    from repro.ml.metrics import evaluate
+
+    report = evaluate(fresh.labels, predicted)
+    minutes = np.array([v.analysis_minutes for v in verdicts])
+    print(
+        f"precision={report.precision:.3f} recall={report.recall:.3f} "
+        f"F1={report.f1:.3f}   (paper: 0.986 / 0.967)"
+    )
+    print(
+        f"per-app scan time: mean {minutes.mean():.2f} min, "
+        f"median {np.median(minutes):.2f} min   (paper: 1.3 min mean)"
+    )
+
+    print("\nTop-10 Gini-important features (cf. paper Fig. 13):")
+    for name, score in checker.gini_table(10):
+        print(f"  {score:.4f}  {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of APICHECKER (EuroSys 2020).
+
+"Experiences of Landing Machine Learning onto Market-Scale Mobile
+Malware Detection", Gong et al., EuroSys 2020.
+
+Quickstart::
+
+    from repro import AndroidSdk, SdkSpec, CorpusGenerator, ApiChecker
+
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=2000))
+    gen = CorpusGenerator(sdk, seed=1)
+    train, test = gen.generate(1500), gen.generate(500)
+
+    checker = ApiChecker(sdk).fit(train)
+    print(checker.evaluate(test))          # precision/recall/F1
+    print(checker.key_api_ids.size)        # the mined key-API set
+    print(checker.gini_table(20))          # Fig. 13-style importances
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.android.apk import Apk
+from repro.android.sdk import AndroidSdk, ApiMethod, SdkSpec
+from repro.core.checker import ApiChecker, VetVerdict
+from repro.core.engine import DynamicAnalysisEngine
+from repro.core.evolution import EvolutionLoop
+from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+from repro.core.selection import KeyApiSelection, select_key_apis
+from repro.core.triage import TriageCenter
+from repro.core.vetting import VettingService
+from repro.corpus.generator import AppCorpus, CorpusGenerator
+from repro.corpus.market import MarketStream, ReviewPipeline, TMarket
+from repro.ml.forest import RandomForest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndroidSdk",
+    "ApiChecker",
+    "ApiMethod",
+    "Apk",
+    "AppCorpus",
+    "AppObservation",
+    "CorpusGenerator",
+    "DynamicAnalysisEngine",
+    "EvolutionLoop",
+    "FeatureMode",
+    "FeatureSpace",
+    "KeyApiSelection",
+    "MarketStream",
+    "RandomForest",
+    "ReviewPipeline",
+    "SdkSpec",
+    "TMarket",
+    "TriageCenter",
+    "VetVerdict",
+    "VettingService",
+    "select_key_apis",
+]

@@ -1,0 +1,61 @@
+"""Android app component models.
+
+An Android app declares its components — Activities (UI screens),
+Services (background work), and BroadcastReceivers (intent listeners) —
+in its manifest.  The paper's Referred Activity Coverage metric (§4.2)
+distinguishes *declared* activities from those actually *referenced* by
+code (on average only 88% are referenced), so each Activity here carries
+a ``referenced`` flag plus the UI-exploration weight used by the Monkey
+model to decide how easily the activity is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Activity:
+    """A declared Activity.
+
+    Attributes:
+        name: component class name (unique within the app).
+        referenced: whether any code path actually references the
+            activity; unreferenced activities can never be visited.
+        exported: whether other apps may launch it.
+        reach_weight: relative ease of reaching the activity during UI
+            exploration (higher = visited earlier by Monkey).
+    """
+
+    name: str
+    referenced: bool = True
+    exported: bool = False
+    reach_weight: float = 1.0
+
+    def __post_init__(self):
+        if self.reach_weight <= 0:
+            raise ValueError("reach_weight must be positive")
+
+
+@dataclass(frozen=True)
+class Service:
+    """A declared Service."""
+
+    name: str
+    exported: bool = False
+    foreground: bool = False
+
+
+@dataclass(frozen=True)
+class BroadcastReceiver:
+    """A declared BroadcastReceiver with its intent filter.
+
+    Attributes:
+        name: component class name.
+        intent_filters: intent actions the receiver listens for; these
+            surface as *used intents* in the paper's auxiliary features.
+    """
+
+    name: str
+    intent_filters: tuple[str, ...] = field(default_factory=tuple)
+    exported: bool = False

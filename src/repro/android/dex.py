@@ -1,0 +1,147 @@
+"""Dex code model.
+
+``classes.dex`` in a real APK holds the app's compiled bytecode; for the
+pipeline all that matters is which framework APIs the code can invoke, at
+what rates, how deep in the UI they sit, and which evasive mechanisms the
+code employs.  This module captures exactly that.
+
+Three evasion mechanisms from the paper are modelled:
+
+* **Reflection-hidden calls** (§4.5): the behaviour is performed through
+  internal/hidden APIs, so the framework-API hook never fires — but the
+  guarding permission must still be requested in the manifest.
+* **Intent delegation** (§4.5): the app asks another app/service to act
+  on its behalf; the hook never fires, but the used intent is observable.
+* **Emulator probes** (§4.2): code that checks for tell-tale emulator
+  signs and suppresses malicious behaviour when any probe succeeds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EmulatorProbe(enum.Enum):
+    """Emulator-detection techniques observed in the paper's corpus."""
+
+    DEFAULT_IDENTIFIERS = "default_identifiers"   # stock IMEI/IMSI values
+    BUILD_PROPS = "build_props"                   # PRODUCT/MODEL strings
+    NETWORK_PROPS = "network_props"               # /proc/net/tcp contents
+    INPUT_TIMING = "input_timing"                 # robotic event intervals
+    SENSOR_LIVENESS = "sensor_liveness"           # flat accelerometer feed
+    XPOSED_PRESENCE = "xposed_presence"           # hook-framework artifacts
+
+
+class NativeIsa(enum.Enum):
+    """Instruction set a native library was compiled for."""
+
+    ARM = "arm"
+    X86 = "x86"
+
+
+@dataclass(frozen=True)
+class NativeLib:
+    """A bundled native library (``lib/*.so``).
+
+    ARM libraries require binary translation (Intel Houdini) on the
+    lightweight x86 emulator; a small fraction is incompatible and forces
+    fallback to the full-system emulator (§5.1).
+    """
+
+    name: str
+    isa: NativeIsa = NativeIsa.ARM
+    size_mb: float = 2.0
+    houdini_compatible: bool = True
+
+    def __post_init__(self):
+        if self.size_mb <= 0:
+            raise ValueError("size_mb must be positive")
+
+
+@dataclass(frozen=True)
+class ApiCallSite:
+    """A direct framework-API call site in the app code.
+
+    Attributes:
+        api_id: the framework API invoked.
+        rate_multiplier: scales the API's SDK base invocation rate for
+            this app (how intensely this app exercises the API).
+        reach_quantile: UI depth of the call site in [0, 1]; the site is
+            exercised during emulation only once achieved activity
+            coverage (RAC) reaches this quantile.
+    """
+
+    api_id: int
+    rate_multiplier: float = 1.0
+    reach_quantile: float = 0.0
+
+    def __post_init__(self):
+        if self.api_id < 0:
+            raise ValueError("api_id must be non-negative")
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be positive")
+        if not 0.0 <= self.reach_quantile <= 1.0:
+            raise ValueError("reach_quantile must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DexCode:
+    """The code half of an APK.
+
+    Attributes:
+        call_sites: direct framework-API call sites.
+        reflection_api_ids: APIs whose behaviour is performed through
+            reflection/hidden APIs instead of direct invocation.
+        sent_intents: intent actions the code sends at runtime.
+        native_libs: bundled native libraries.
+        emulator_probes: anti-emulation checks the code performs.
+        uses_dynamic_loading: loads additional code at runtime.
+        obfuscated: identifier obfuscation applied (blocks the static
+            referenced-activity scan, §4.2).
+        needs_live_sensors: requires real-time data from special sensors
+            (e.g. microphone) that no emulator can synthesize; such apps
+            invoke fewer APIs even on the hardened emulator (§4.2).
+    """
+
+    call_sites: tuple[ApiCallSite, ...] = field(default_factory=tuple)
+    reflection_api_ids: tuple[int, ...] = field(default_factory=tuple)
+    sent_intents: tuple[str, ...] = field(default_factory=tuple)
+    native_libs: tuple[NativeLib, ...] = field(default_factory=tuple)
+    emulator_probes: tuple[EmulatorProbe, ...] = field(default_factory=tuple)
+    uses_dynamic_loading: bool = False
+    obfuscated: bool = False
+    needs_live_sensors: bool = False
+
+    def __post_init__(self):
+        seen = set()
+        for site in self.call_sites:
+            if site.api_id in seen:
+                raise ValueError(
+                    f"duplicate call site for api_id={site.api_id}; "
+                    "merge rate multipliers instead"
+                )
+            seen.add(site.api_id)
+
+    @property
+    def direct_api_ids(self) -> tuple[int, ...]:
+        """APIs with at least one direct call site (sorted)."""
+        return tuple(sorted(s.api_id for s in self.call_sites))
+
+    @property
+    def has_arm_native_code(self) -> bool:
+        return any(lib.isa is NativeIsa.ARM for lib in self.native_libs)
+
+    @property
+    def houdini_incompatible(self) -> bool:
+        """True when any ARM library cannot be binary-translated."""
+        return any(
+            lib.isa is NativeIsa.ARM and not lib.houdini_compatible
+            for lib in self.native_libs
+        )
+
+    def site_for(self, api_id: int) -> ApiCallSite | None:
+        for site in self.call_sites:
+            if site.api_id == api_id:
+                return site
+        return None

@@ -1,0 +1,151 @@
+"""Android intent-action model.
+
+Intents are Android's IPC currency: apps send them to request actions
+from other apps/services and register receivers to observe system-level
+broadcasts.  The paper treats *used intents* as an auxiliary feature
+(§4.5) because malware delegates sensitive actions over intents to avoid
+invoking monitored framework APIs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntentAction:
+    """A single intent action string.
+
+    Attributes:
+        name: the action constant, e.g.
+            ``android.provider.Telephony.SMS_RECEIVED``.
+        system_broadcast: True when the action is a system-originated
+            broadcast (apps *receive* it); False for app-originated
+            request actions (apps *send* it).
+    """
+
+    name: str
+    system_broadcast: bool
+
+    @property
+    def short_name(self) -> str:
+        return self.name.rsplit(".", 1)[-1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The five intents the paper reports among the top-20 most important
+#: features (Fig. 13), always present in a generated registry.
+CANONICAL_INTENTS: tuple[tuple[str, bool], ...] = (
+    ("android.provider.Telephony.SMS_RECEIVED", True),
+    ("android.net.wifi.STATE_CHANGE", True),
+    ("android.app.action.DEVICE_ADMIN_ENABLED", True),
+    ("android.bluetooth.adapter.action.STATE_CHANGED", True),
+    ("android.intent.action.ACTION_BATTERY_OKAY", True),
+)
+
+_COMMON_INTENTS: tuple[tuple[str, bool], ...] = (
+    ("android.intent.action.BOOT_COMPLETED", True),
+    ("android.intent.action.BATTERY_LOW", True),
+    ("android.intent.action.PACKAGE_ADDED", True),
+    ("android.intent.action.PACKAGE_REMOVED", True),
+    ("android.intent.action.USER_PRESENT", True),
+    ("android.intent.action.SCREEN_ON", True),
+    ("android.intent.action.SCREEN_OFF", True),
+    ("android.intent.action.NEW_OUTGOING_CALL", True),
+    ("android.intent.action.PHONE_STATE", True),
+    ("android.net.conn.CONNECTIVITY_CHANGE", True),
+    ("android.intent.action.AIRPLANE_MODE", True),
+    ("android.intent.action.TIMEZONE_CHANGED", True),
+    ("android.intent.action.VIEW", False),
+    ("android.intent.action.SEND", False),
+    ("android.intent.action.SENDTO", False),
+    ("android.intent.action.CALL", False),
+    ("android.intent.action.DIAL", False),
+    ("android.intent.action.PICK", False),
+    ("android.intent.action.EDIT", False),
+    ("android.intent.action.INSTALL_PACKAGE", False),
+    ("android.intent.action.DELETE", False),
+    ("android.media.action.IMAGE_CAPTURE", False),
+    ("android.settings.SETTINGS", False),
+    ("android.intent.action.GET_CONTENT", False),
+)
+
+_SYNTH_EVENTS = (
+    "SYNC_COMPLETE", "DOWNLOAD_DONE", "MEDIA_MOUNTED", "DOCK_EVENT",
+    "HEADSET_PLUG", "LOCALE_CHANGED", "STORAGE_LOW", "INPUT_ATTACHED",
+    "PROFILE_SWITCHED", "ALARM_FIRED", "NFC_DISCOVERED", "SHUTDOWN",
+    "WALLPAPER_CHANGED", "PROVIDER_CHANGED", "CAMERA_BUTTON",
+    "PROXY_CHANGE", "UID_REMOVED", "DATE_CHANGED", "DREAMING_STARTED",
+    "CARRIER_SWITCH",
+)
+
+
+class IntentRegistry:
+    """Registry of intent actions known to a synthetic SDK release."""
+
+    def __init__(self, actions: list[IntentAction]):
+        if not actions:
+            raise ValueError("an intent registry cannot be empty")
+        self._actions = list(actions)
+        self._by_name = {a.name: a for a in self._actions}
+        if len(self._by_name) != len(self._actions):
+            raise ValueError("duplicate intent actions in registry")
+
+    @classmethod
+    def generate(cls, n_actions: int = 96, seed: int = 0) -> "IntentRegistry":
+        """Generate a registry with ``n_actions`` actions.
+
+        The canonical Fig. 13 intents and common real-world actions are
+        always present; the remainder are synthetic system broadcasts and
+        request actions in roughly a 60/40 split.
+        """
+        base = list(CANONICAL_INTENTS) + list(_COMMON_INTENTS)
+        if n_actions < len(base):
+            raise ValueError(
+                f"n_actions must be >= {len(base)} to hold the canonical set"
+            )
+        rng = np.random.default_rng(seed)
+        actions = [IntentAction(name, sysb) for name, sysb in base]
+        names = {a.name for a in actions}
+        i = 0
+        while len(actions) < n_actions:
+            event = _SYNTH_EVENTS[i % len(_SYNTH_EVENTS)]
+            suffix = i // len(_SYNTH_EVENTS)
+            name = f"android.intent.action.{event}"
+            if suffix:
+                name = f"{name}_{suffix}"
+            i += 1
+            if name in names:
+                continue
+            actions.append(IntentAction(name, bool(rng.random() < 0.6)))
+            names.add(name)
+        return cls(actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> IntentAction:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown intent action: {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self._actions]
+
+    def system_broadcasts(self) -> list[IntentAction]:
+        return [a for a in self._actions if a.system_broadcast]
+
+    def request_actions(self) -> list[IntentAction]:
+        return [a for a in self._actions if not a.system_broadcast]

@@ -1,0 +1,63 @@
+"""AndroidManifest model.
+
+The manifest (``AndroidManifest.xml`` in a real APK) carries the app's
+package name, the permissions it requests, and its declared components.
+Requested permissions are one of the paper's two auxiliary feature
+sources (§4.5): even when malware hides a key-API call behind reflection,
+the permission guarding the underlying operation must still be requested
+in the manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.components import Activity, BroadcastReceiver, Service
+
+
+@dataclass(frozen=True)
+class AndroidManifest:
+    """Static app metadata.
+
+    Attributes:
+        package_name: reverse-DNS package identifier.
+        version_code: monotonically increasing integer per update.
+        requested_permissions: permission names requested by the app.
+        activities / services / receivers: declared components.
+        min_sdk_level: minimum SDK level the app supports.
+    """
+
+    package_name: str
+    version_code: int = 1
+    requested_permissions: tuple[str, ...] = field(default_factory=tuple)
+    activities: tuple[Activity, ...] = field(default_factory=tuple)
+    services: tuple[Service, ...] = field(default_factory=tuple)
+    receivers: tuple[BroadcastReceiver, ...] = field(default_factory=tuple)
+    min_sdk_level: int = 19
+
+    def __post_init__(self):
+        if not self.package_name:
+            raise ValueError("package_name must be non-empty")
+        if self.version_code < 1:
+            raise ValueError("version_code must be >= 1")
+        names = [a.name for a in self.activities]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate activity names in manifest")
+
+    @property
+    def declared_activity_count(self) -> int:
+        return len(self.activities)
+
+    @property
+    def referenced_activities(self) -> tuple[Activity, ...]:
+        """Activities actually referenced by code (the RAC denominator)."""
+        return tuple(a for a in self.activities if a.referenced)
+
+    @property
+    def receiver_intent_actions(self) -> tuple[str, ...]:
+        """All intent actions the app's receivers listen for (sorted)."""
+        actions = {f for r in self.receivers for f in r.intent_filters}
+        return tuple(sorted(actions))
+
+    def requests(self, permission_name: str) -> bool:
+        return permission_name in self.requested_permissions

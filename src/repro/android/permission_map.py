@@ -1,0 +1,110 @@
+"""API→permission map extraction (the axplorer / PScout stand-in).
+
+The paper selects Set-P with two published static-analysis artifacts —
+axplorer's and PScout's API→permission maps (§4.4 step 2).  Those tools
+walk the Android framework sources; here the equivalent walk runs over
+the synthetic registry and emits the same kind of artifact: a versioned
+text map from fully qualified API names to permission names, restricted
+to dangerous/signature levels.
+
+Keeping the map a *serialized artifact* (rather than peeking at the
+registry) mirrors the paper's pipeline: Set-P selection consumes the
+tool output, so a map from an older SDK level can be applied to a newer
+corpus and the drift is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.android.permissions import ProtectionLevel
+from repro.android.sdk import AndroidSdk
+
+_HEADER = "# repro-permission-map"
+
+
+@dataclass(frozen=True)
+class PermissionMap:
+    """A versioned API→restrictive-permission mapping.
+
+    Attributes:
+        sdk_level: the SDK level the map was extracted from.
+        entries: api_name -> permission_name (restrictive levels only).
+    """
+
+    sdk_level: int
+    entries: dict[str, str]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def permission_for(self, api_name: str) -> str | None:
+        return self.entries.get(api_name)
+
+    def restricted_api_ids(self, sdk: AndroidSdk) -> np.ndarray:
+        """Resolve the map against a registry (possibly a newer level).
+
+        APIs the map knows that no longer exist are skipped; APIs added
+        after the map's level are invisible — exactly the staleness an
+        operator sees when applying last year's axplorer dump.
+        """
+        ids = []
+        for name in self.entries:
+            try:
+                ids.append(sdk.by_name(name).api_id)
+            except KeyError:
+                continue
+        return np.array(sorted(ids), dtype=int)
+
+    # ------------------------------------------------------------------
+    # Serialization (axplorer-style two-column text format)
+    # ------------------------------------------------------------------
+
+    def write(self, path: str | Path) -> None:
+        path = Path(path)
+        lines = [f"{_HEADER} level={self.sdk_level}"]
+        for api_name in sorted(self.entries):
+            lines.append(f"{api_name}  ->  {self.entries[api_name]}")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def read(cls, path: str | Path) -> "PermissionMap":
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines or not lines[0].startswith(_HEADER):
+            raise ValueError(f"{path}: not a permission map artifact")
+        try:
+            level = int(lines[0].split("level=", 1)[1])
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"{path}: malformed header") from exc
+        entries = {}
+        for line_no, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "  ->  " not in line:
+                raise ValueError(f"{path}:{line_no}: malformed entry")
+            api_name, permission = line.split("  ->  ", 1)
+            entries[api_name.strip()] = permission.strip()
+        return cls(sdk_level=level, entries=entries)
+
+
+def extract_permission_map(sdk: AndroidSdk) -> PermissionMap:
+    """Walk the registry and emit its restrictive API→permission map.
+
+    Only dangerous- and signature-level guards qualify (the paper's
+    "restrictive permissions"); normal-level guards are dropped, exactly
+    as Set-P construction requires.
+    """
+    entries: dict[str, str] = {}
+    for api in sdk:
+        if api.permission is None:
+            continue
+        level = sdk.permissions.get(api.permission).level
+        if level is ProtectionLevel.NORMAL:
+            continue
+        entries[api.name] = api.permission
+    return PermissionMap(sdk_level=sdk.level, entries=entries)

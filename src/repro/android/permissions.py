@@ -1,0 +1,195 @@
+"""Android permission model.
+
+Android permissions carry one of three protection levels (normal,
+dangerous, signature).  APIs guarded by dangerous- or signature-level
+permissions are the paper's *restrictive-permission* APIs (Set-P, §4.4
+step 2), identified there with the axplorer and PScout mappings.  Here the
+mapping is carried directly on the synthetic SDK registry; this module
+defines the permission objects and the registry they live in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ProtectionLevel(enum.Enum):
+    """Protection level of an Android permission.
+
+    ``DANGEROUS`` and ``SIGNATURE`` levels guard sensitive user data or
+    privileged system features; the paper calls permissions at these two
+    levels *restrictive*.
+    """
+
+    NORMAL = "normal"
+    DANGEROUS = "dangerous"
+    SIGNATURE = "signature"
+
+    @property
+    def is_restrictive(self) -> bool:
+        return self is not ProtectionLevel.NORMAL
+
+
+@dataclass(frozen=True)
+class Permission:
+    """A single Android permission.
+
+    Attributes:
+        name: fully qualified name, e.g. ``android.permission.SEND_SMS``.
+        level: the permission's protection level.
+    """
+
+    name: str
+    level: ProtectionLevel
+
+    @property
+    def short_name(self) -> str:
+        """The trailing identifier, e.g. ``SEND_SMS``."""
+        return self.name.rsplit(".", 1)[-1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The eight permissions the paper reports among the top-20 most important
+#: features (Fig. 13), seeded verbatim into every generated registry.
+CANONICAL_PERMISSIONS: tuple[tuple[str, ProtectionLevel], ...] = (
+    ("android.permission.SEND_SMS", ProtectionLevel.DANGEROUS),
+    ("android.permission.RECEIVE_SMS", ProtectionLevel.DANGEROUS),
+    ("android.permission.RECEIVE_MMS", ProtectionLevel.DANGEROUS),
+    ("android.permission.RECEIVE_WAP_PUSH", ProtectionLevel.DANGEROUS),
+    ("android.permission.READ_SMS", ProtectionLevel.DANGEROUS),
+    ("android.permission.ACCESS_NETWORK_STATE", ProtectionLevel.NORMAL),
+    ("android.permission.SYSTEM_ALERT_WINDOW", ProtectionLevel.SIGNATURE),
+    ("android.permission.RECEIVE_BOOT_COMPLETED", ProtectionLevel.NORMAL),
+)
+
+#: Additional well-known permissions used to give generated names a
+#: realistic flavour before falling back to synthetic identifiers.
+_COMMON_PERMISSIONS: tuple[tuple[str, ProtectionLevel], ...] = (
+    ("android.permission.INTERNET", ProtectionLevel.NORMAL),
+    ("android.permission.READ_CONTACTS", ProtectionLevel.DANGEROUS),
+    ("android.permission.WRITE_CONTACTS", ProtectionLevel.DANGEROUS),
+    ("android.permission.ACCESS_FINE_LOCATION", ProtectionLevel.DANGEROUS),
+    ("android.permission.ACCESS_COARSE_LOCATION", ProtectionLevel.DANGEROUS),
+    ("android.permission.CAMERA", ProtectionLevel.DANGEROUS),
+    ("android.permission.RECORD_AUDIO", ProtectionLevel.DANGEROUS),
+    ("android.permission.READ_PHONE_STATE", ProtectionLevel.DANGEROUS),
+    ("android.permission.CALL_PHONE", ProtectionLevel.DANGEROUS),
+    ("android.permission.READ_EXTERNAL_STORAGE", ProtectionLevel.DANGEROUS),
+    ("android.permission.WRITE_EXTERNAL_STORAGE", ProtectionLevel.DANGEROUS),
+    ("android.permission.READ_CALL_LOG", ProtectionLevel.DANGEROUS),
+    ("android.permission.WRITE_CALL_LOG", ProtectionLevel.DANGEROUS),
+    ("android.permission.GET_ACCOUNTS", ProtectionLevel.DANGEROUS),
+    ("android.permission.BLUETOOTH", ProtectionLevel.NORMAL),
+    ("android.permission.BLUETOOTH_ADMIN", ProtectionLevel.NORMAL),
+    ("android.permission.NFC", ProtectionLevel.NORMAL),
+    ("android.permission.VIBRATE", ProtectionLevel.NORMAL),
+    ("android.permission.WAKE_LOCK", ProtectionLevel.NORMAL),
+    ("android.permission.CHANGE_WIFI_STATE", ProtectionLevel.NORMAL),
+    ("android.permission.ACCESS_WIFI_STATE", ProtectionLevel.NORMAL),
+    ("android.permission.INSTALL_PACKAGES", ProtectionLevel.SIGNATURE),
+    ("android.permission.DELETE_PACKAGES", ProtectionLevel.SIGNATURE),
+    ("android.permission.WRITE_SECURE_SETTINGS", ProtectionLevel.SIGNATURE),
+    ("android.permission.REBOOT", ProtectionLevel.SIGNATURE),
+    ("android.permission.DEVICE_POWER", ProtectionLevel.SIGNATURE),
+    ("android.permission.READ_LOGS", ProtectionLevel.SIGNATURE),
+    ("android.permission.MOUNT_UNMOUNT_FILESYSTEMS", ProtectionLevel.SIGNATURE),
+)
+
+_SYNTH_SUBJECTS = (
+    "SENSOR_FEED", "SCREEN_STATE", "MEDIA_SESSION", "USAGE_STATS",
+    "APP_OPS", "SYNC_SETTINGS", "VOICEMAIL", "SIP_SESSION", "BODY_METRICS",
+    "CALENDAR_FEED", "CLIPBOARD", "PRINT_JOB", "TV_INPUT", "WALLPAPER",
+    "DREAM_STATE", "FINGERPRINT", "INFRARED", "BATTERY_STATS", "DROPBOX",
+    "PACKAGE_USAGE", "NETWORK_POLICY", "SHORTCUT", "NOTIFICATION_POLICY",
+    "CARRIER_CONFIG", "DISPLAY_STATE", "INPUT_METHOD", "ACCOUNT_SYNC",
+    "PROFILE_OWNER", "QUICK_SETTINGS", "OVERLAY_STATE",
+)
+_SYNTH_VERBS = ("READ", "WRITE", "MANAGE", "BIND", "CONTROL", "MODIFY")
+
+
+class PermissionRegistry:
+    """A registry of all permissions known to a synthetic SDK release.
+
+    The registry is generated deterministically from a seed.  Canonical
+    and common permissions are always present; further synthetic
+    permissions are appended until ``n_permissions`` names exist.
+    """
+
+    def __init__(self, permissions: list[Permission]):
+        if not permissions:
+            raise ValueError("a permission registry cannot be empty")
+        self._permissions = list(permissions)
+        self._by_name = {p.name: p for p in self._permissions}
+        if len(self._by_name) != len(self._permissions):
+            raise ValueError("duplicate permission names in registry")
+
+    @classmethod
+    def generate(cls, n_permissions: int = 160, seed: int = 0) -> "PermissionRegistry":
+        """Generate a registry with ``n_permissions`` entries.
+
+        Canonical (Fig. 13) permissions come first and are always present,
+        followed by common real-world permissions, then synthetic ones
+        with levels drawn to roughly match Android's split (about half
+        normal, a third dangerous, the rest signature).
+        """
+        base = list(CANONICAL_PERMISSIONS) + list(_COMMON_PERMISSIONS)
+        if n_permissions < len(base):
+            raise ValueError(
+                f"n_permissions must be >= {len(base)} to hold the canonical set"
+            )
+        rng = np.random.default_rng(seed)
+        permissions = [Permission(name, level) for name, level in base]
+        names = {p.name for p in permissions}
+        levels = (
+            ProtectionLevel.NORMAL,
+            ProtectionLevel.DANGEROUS,
+            ProtectionLevel.SIGNATURE,
+        )
+        level_probs = np.array([0.50, 0.32, 0.18])
+        i = 0
+        while len(permissions) < n_permissions:
+            subject = _SYNTH_SUBJECTS[i % len(_SYNTH_SUBJECTS)]
+            verb = _SYNTH_VERBS[(i // len(_SYNTH_SUBJECTS)) % len(_SYNTH_VERBS)]
+            suffix = i // (len(_SYNTH_SUBJECTS) * len(_SYNTH_VERBS))
+            name = f"android.permission.{verb}_{subject}"
+            if suffix:
+                name = f"{name}_{suffix}"
+            i += 1
+            if name in names:
+                continue
+            level = levels[rng.choice(3, p=level_probs)]
+            permissions.append(Permission(name, level))
+            names.add(name)
+        return cls(permissions)
+
+    def __len__(self) -> int:
+        return len(self._permissions)
+
+    def __iter__(self):
+        return iter(self._permissions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Permission:
+        """Look up a permission by fully qualified name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown permission: {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self._permissions]
+
+    def restrictive(self) -> list[Permission]:
+        """Permissions at dangerous or signature level."""
+        return [p for p in self._permissions if p.level.is_restrictive]
+
+    def at_level(self, level: ProtectionLevel) -> list[Permission]:
+        return [p for p in self._permissions if p.level is level]

@@ -1,0 +1,640 @@
+"""Synthetic Android framework-API registry.
+
+The real Android SDK exposes >50,000 framework APIs; the paper's feature
+universe is the set of those APIs, each optionally guarded by a
+permission, optionally performing a sensitive operation, and invoked at
+wildly different frequencies.  This module generates a deterministic
+registry with the same *structure*:
+
+* a fixed stratum of **restricted** APIs guarded by dangerous/signature
+  permissions (the paper's Set-P source, 112 APIs),
+* a fixed stratum of **sensitive-operation** APIs across the paper's five
+  attack-relevant categories (the Set-S source, 70 APIs),
+* a latent stratum of **discriminative** APIs that the corpus generator
+  makes malware-leaning (what SRC mining should recover as Set-C),
+* a stratum of **ubiquitous** APIs invoked by virtually every app at very
+  high rates (file I/O, view plumbing — the paper's 13 frequent
+  negatively correlated APIs live here), and
+* a long **tail** of seldom-invoked APIs.
+
+Invocation-frequency strata are what make the paper's timing trade-offs
+(Figs. 3, 6, 9, 16) emerge: hooking a ubiquitous API is far more
+expensive than hooking a rare one.
+
+The registry also carries an internal call graph (``internal_calls``)
+used by :mod:`repro.staticanalysis.coverage` to reproduce the §5.4
+observation that ~9.6% of non-key APIs internally depend on key APIs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.intents import IntentRegistry
+from repro.android.permissions import PermissionRegistry
+
+
+class SensitiveCategory(enum.Enum):
+    """The paper's five categories of sensitive operations (§4.4 step 3)."""
+
+    PRIVILEGE_ESCALATION = "privilege_escalation"
+    DATA_STORE = "data_store"
+    UI_COMPONENT = "ui_component"
+    CRYPTO = "crypto"
+    DYNAMIC_CODE = "dynamic_code"
+
+
+class FrequencyClass(enum.Enum):
+    """Invocation-frequency stratum of an API.
+
+    The attached value is the mean invocation rate per Monkey event for
+    an app that references the API (calibrated so a 5K-event emulation
+    triggers tens of millions of invocations in total, per Fig. 2).
+    """
+
+    UBIQUITOUS = 28.0
+    COMMON = 14.0
+    MODERATE = 0.5
+    RARE = 0.02
+
+
+@dataclass(frozen=True)
+class ApiMethod:
+    """One framework API method.
+
+    Attributes:
+        api_id: dense integer index into the registry (stable per SDK).
+        name: fully qualified ``package.Class.method`` name.
+        package: the declaring package.
+        class_name: the declaring class.
+        method_name: the method identifier.
+        permission: guarding permission name, or None when unguarded.
+        sensitive_category: sensitive-operation category, or None.
+        freq_class: invocation-frequency stratum.
+        base_rate: expected invocations per Monkey event when referenced.
+        added_in_level: SDK level in which the API first appeared.
+    """
+
+    api_id: int
+    name: str
+    package: str
+    class_name: str
+    method_name: str
+    permission: str | None
+    sensitive_category: SensitiveCategory | None
+    freq_class: FrequencyClass
+    base_rate: float
+    added_in_level: int
+
+    @property
+    def short_name(self) -> str:
+        """``Class_method`` alias as used in the paper's Fig. 13."""
+        return f"{self.class_name}_{self.method_name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class SdkSpec:
+    """Size/shape parameters for a generated SDK.
+
+    Stratum sizes are absolute (not fractions of ``n_apis``) because the
+    paper's Set-P/Set-S counts are fixed by the permission map and domain
+    knowledge, not by the SDK's total size.
+    """
+
+    n_apis: int = 6000
+    level: int = 27
+    n_restricted: int = 112
+    n_sensitive: int = 70
+    n_discriminative: int = 260
+    n_disc_restricted: int = 12
+    n_disc_sensitive: int = 4
+    n_ubiquitous: int = 200
+    n_permissions: int = 160
+    n_intents: int = 96
+    dependency_fraction: float = 0.096
+    seed: int = 0
+
+    def validate(self) -> None:
+        fixed = self.n_restricted + self.n_sensitive + self.n_ubiquitous
+        disc_outside = (
+            self.n_discriminative - self.n_disc_restricted - self.n_disc_sensitive
+        )
+        if disc_outside < 0:
+            raise ValueError("discriminative overlaps exceed n_discriminative")
+        if self.n_disc_restricted > self.n_restricted:
+            raise ValueError("n_disc_restricted exceeds n_restricted")
+        if self.n_disc_sensitive > self.n_sensitive:
+            raise ValueError("n_disc_sensitive exceeds n_sensitive")
+        if self.n_apis < fixed + disc_outside + 100:
+            raise ValueError(
+                f"n_apis={self.n_apis} too small for the configured strata"
+            )
+        if not 0.0 <= self.dependency_fraction < 1.0:
+            raise ValueError("dependency_fraction must be in [0, 1)")
+
+
+#: Canonical APIs from the paper (Fig. 13 and §4.4 examples), seeded into
+#: every registry: (package, class, method, permission, category, stratum).
+_CANONICAL_APIS: tuple[tuple[str, str, str, str | None, SensitiveCategory | None, str], ...] = (
+    ("android.telephony", "SmsManager", "sendTextMessage",
+     "android.permission.SEND_SMS", None, "restricted"),
+    ("android.telephony", "TelephonyManager", "getLine1Number",
+     "android.permission.READ_PHONE_STATE", None, "restricted"),
+    ("android.net.wifi", "WifiInfo", "getMacAddress",
+     None, None, "discriminative"),
+    ("android.view", "View", "setBackgroundColor",
+     None, None, "discriminative"),
+    ("android.database.sqlite", "SQLiteDatabase", "insertWithOnConflict",
+     None, SensitiveCategory.DATA_STORE, "sensitive"),
+    ("java.net", "HttpURLConnection", "connect",
+     None, None, "discriminative"),
+    ("android.app", "ActivityManager", "getRunningTasks",
+     None, SensitiveCategory.UI_COMPONENT, "sensitive"),
+    ("java.lang", "Runtime", "exec",
+     None, SensitiveCategory.PRIVILEGE_ESCALATION, "sensitive"),
+    ("dalvik.system", "DexClassLoader", "loadClass",
+     None, SensitiveCategory.DYNAMIC_CODE, "sensitive"),
+    ("javax.crypto", "Cipher", "doFinal",
+     None, SensitiveCategory.CRYPTO, "sensitive"),
+    ("android.view", "WindowManager", "addView",
+     "android.permission.SYSTEM_ALERT_WINDOW", SensitiveCategory.UI_COMPONENT,
+     "restricted"),
+    ("android.content", "ContentResolver", "query",
+     None, SensitiveCategory.DATA_STORE, "sensitive"),
+)
+
+#: Canonical ubiquitous common-operation APIs (the paper notes 13 frequent
+#: APIs with SRC <= -0.2 performing operations like file I/O).
+_CANONICAL_UBIQUITOUS: tuple[tuple[str, str, str], ...] = (
+    ("java.io", "File", "exists"),
+    ("java.io", "FileInputStream", "read"),
+    ("java.io", "FileOutputStream", "write"),
+    ("java.io", "BufferedReader", "readLine"),
+    ("android.util", "Log", "d"),
+    ("android.os", "Handler", "post"),
+    ("android.view", "LayoutInflater", "inflate"),
+    ("android.content", "SharedPreferences", "getString"),
+    ("android.content", "Context", "getResources"),
+    ("java.util", "ArrayList", "add"),
+    ("android.view", "View", "findViewById"),
+    ("android.os", "Bundle", "getString"),
+    ("android.widget", "TextView", "setText"),
+)
+
+_PACKAGES = (
+    "android.app", "android.content", "android.content.pm", "android.database",
+    "android.database.sqlite", "android.graphics", "android.hardware",
+    "android.location", "android.media", "android.net", "android.net.wifi",
+    "android.os", "android.provider", "android.telephony", "android.util",
+    "android.view", "android.webkit", "android.widget", "android.bluetooth",
+    "android.accounts", "android.animation", "android.text", "android.security",
+    "android.print", "android.nfc", "java.io", "java.lang", "java.net",
+    "java.util", "javax.crypto", "dalvik.system", "org.json",
+)
+
+_CLASS_NOUNS = (
+    "Manager", "Service", "Provider", "Monitor", "Controller", "Session",
+    "Adapter", "Helper", "Client", "Registry", "Dispatcher", "Tracker",
+    "Builder", "Loader", "Resolver", "Channel", "Broker", "Cache",
+)
+
+_CLASS_SUBJECTS = (
+    "Network", "Display", "Audio", "Sensor", "Account", "Package", "Storage",
+    "Input", "Media", "Location", "Telephony", "Window", "Sync", "Print",
+    "Camera", "Battery", "Clipboard", "Download", "Notification", "Usage",
+    "Wallpaper", "Vibrator", "Keyguard", "Backup", "Bluetooth", "Nfc",
+    "Wifi", "Activity", "Fragment", "Cursor", "Render", "Theme",
+)
+
+_METHOD_VERBS = (
+    "get", "set", "query", "update", "open", "close", "register",
+    "unregister", "start", "stop", "bind", "unbind", "create", "release",
+    "request", "send", "read", "write", "enable", "disable", "fetch",
+    "apply", "load", "clear", "notify", "acquire", "dispatch", "resolve",
+)
+
+_METHOD_NOUNS = (
+    "State", "Info", "Config", "Session", "Handle", "Listener", "Callback",
+    "Buffer", "Stream", "Record", "Status", "Policy", "Token", "Profile",
+    "Metrics", "Snapshot", "Channel", "Cursor", "Bounds", "Params", "Cache",
+    "Flags", "Mode", "Options", "Result", "Context", "Update", "Quota",
+)
+
+
+def _rate_for(freq_class: FrequencyClass, rng: np.random.Generator) -> float:
+    """Draw a per-event invocation rate around the class mean (lognormal)."""
+    mean = freq_class.value
+    return float(mean * rng.lognormal(mean=0.0, sigma=0.6))
+
+
+class AndroidSdk:
+    """A generated Android SDK release.
+
+    Instances are immutable in practice: :meth:`extend` returns a new SDK
+    at the next level rather than mutating in place, mirroring how real
+    SDK releases supersede each other (§5.3 model evolution).
+    """
+
+    def __init__(
+        self,
+        spec: SdkSpec,
+        apis: list[ApiMethod],
+        permissions: PermissionRegistry,
+        intents: IntentRegistry,
+        restricted_ids: np.ndarray,
+        sensitive_ids: np.ndarray,
+        discriminative_ids: np.ndarray,
+        ubiquitous_ids: np.ndarray,
+        internal_calls: dict[int, tuple[int, ...]],
+    ):
+        self.spec = spec
+        self.level = spec.level
+        self._apis = apis
+        self.permissions = permissions
+        self.intents = intents
+        self._restricted_ids = np.sort(restricted_ids)
+        self._sensitive_ids = np.sort(sensitive_ids)
+        self._discriminative_ids = np.sort(discriminative_ids)
+        self._ubiquitous_ids = np.sort(ubiquitous_ids)
+        self.internal_calls = internal_calls
+        self._base_rates = np.array([a.base_rate for a in apis])
+        self._by_name = {a.name: a for a in apis}
+        self._common_ops_ids = np.array(
+            [
+                self._by_name[f"{pkg}.{clazz}.{method}"].api_id
+                for pkg, clazz, method in _CANONICAL_UBIQUITOUS
+            ],
+            dtype=int,
+        )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(cls, spec: SdkSpec | None = None, **overrides) -> "AndroidSdk":
+        """Generate a deterministic SDK from ``spec`` (or keyword overrides)."""
+        if spec is None:
+            spec = SdkSpec(**overrides)
+        elif overrides:
+            raise TypeError("pass either a spec or keyword overrides, not both")
+        spec.validate()
+        rng = np.random.default_rng(spec.seed)
+
+        permissions = PermissionRegistry.generate(spec.n_permissions, seed=spec.seed)
+        intents = IntentRegistry.generate(spec.n_intents, seed=spec.seed)
+        restrictive_names = [p.name for p in permissions.restrictive()]
+
+        apis: list[ApiMethod] = []
+        names: set[str] = set()
+        restricted: list[int] = []
+        sensitive: list[int] = []
+        discriminative: list[int] = []
+        ubiquitous: list[int] = []
+
+        def add(package, class_name, method, permission, category, freq_class):
+            api_id = len(apis)
+            name = f"{package}.{class_name}.{method}"
+            if name in names:
+                return None
+            api = ApiMethod(
+                api_id=api_id,
+                name=name,
+                package=package,
+                class_name=class_name,
+                method_name=method,
+                permission=permission,
+                sensitive_category=category,
+                freq_class=freq_class,
+                base_rate=_rate_for(freq_class, rng),
+                added_in_level=spec.level,
+            )
+            apis.append(api)
+            names.add(name)
+            return api_id
+
+        # Canonical named APIs first so their ids are stable across scales.
+        for pkg, clazz, method, perm, cat, stratum in _CANONICAL_APIS:
+            freq = FrequencyClass.COMMON
+            api_id = add(pkg, clazz, method, perm, cat, freq)
+            assert api_id is not None
+            if stratum == "restricted":
+                restricted.append(api_id)
+            elif stratum == "sensitive":
+                sensitive.append(api_id)
+            if stratum in ("restricted", "sensitive", "discriminative"):
+                # Canonical attack-relevant APIs are all malware-leaning.
+                discriminative.append(api_id)
+
+        for pkg, clazz, method in _CANONICAL_UBIQUITOUS:
+            api_id = add(pkg, clazz, method, None, None, FrequencyClass.UBIQUITOUS)
+            assert api_id is not None
+            ubiquitous.append(api_id)
+
+        def synth_name(i: int) -> tuple[str, str, str]:
+            pkg = _PACKAGES[int(rng.integers(len(_PACKAGES)))]
+            clazz = (
+                _CLASS_SUBJECTS[int(rng.integers(len(_CLASS_SUBJECTS)))]
+                + _CLASS_NOUNS[int(rng.integers(len(_CLASS_NOUNS)))]
+            )
+            method = (
+                _METHOD_VERBS[int(rng.integers(len(_METHOD_VERBS)))]
+                + _METHOD_NOUNS[int(rng.integers(len(_METHOD_NOUNS)))]
+            )
+            return pkg, clazz, method
+
+        def fill(stratum_list, target, permission_pool, category_pool, freq_chooser):
+            while len(stratum_list) < target:
+                pkg, clazz, method = synth_name(len(apis))
+                perm = None
+                if permission_pool is not None:
+                    perm = permission_pool[int(rng.integers(len(permission_pool)))]
+                cat = None
+                if category_pool is not None:
+                    cat = category_pool[int(rng.integers(len(category_pool)))]
+                api_id = add(pkg, clazz, method, perm, cat, freq_chooser())
+                if api_id is not None:
+                    stratum_list.append(api_id)
+
+        # Key-stratum APIs (restricted/sensitive/discriminative) are
+        # invoked at moderate-to-common rates: hot enough that hooking
+        # them costs real time (Figs. 9/15/16), far below ubiquitous.
+        moderate_or_rare = lambda: (
+            FrequencyClass.COMMON if rng.random() < 0.65
+            else FrequencyClass.MODERATE
+        )
+        fill(restricted, spec.n_restricted, restrictive_names, None, moderate_or_rare)
+        fill(
+            sensitive,
+            spec.n_sensitive,
+            None,
+            list(SensitiveCategory),
+            moderate_or_rare,
+        )
+        fill(ubiquitous, spec.n_ubiquitous, None, None,
+             lambda: FrequencyClass.UBIQUITOUS)
+
+        # Discriminative overlaps: a few restricted and sensitive APIs are
+        # also strongly malware-correlated (Fig. 8 shows ~16 overlaps).
+        canonical_disc = set(discriminative)
+        extra_restricted = [
+            i for i in restricted if i not in canonical_disc
+        ][: max(0, spec.n_disc_restricted - len([i for i in restricted if i in canonical_disc]))]
+        extra_sensitive = [
+            i for i in sensitive if i not in canonical_disc
+        ][: max(0, spec.n_disc_sensitive - len([i for i in sensitive if i in canonical_disc]))]
+        discriminative.extend(extra_restricted)
+        discriminative.extend(extra_sensitive)
+
+        # The remaining discriminative APIs are plain moderate-frequency
+        # framework APIs that malware families happen to rely on.
+        disc_only: list[int] = []
+        fill(
+            disc_only,
+            spec.n_discriminative - len(discriminative),
+            None,
+            None,
+            moderate_or_rare,
+        )
+        discriminative.extend(disc_only)
+
+        # Long tail: mostly rare, some common, filling out n_apis.
+        tail_freq_probs = np.array([0.03, 0.12, 0.85])
+        tail_classes = (
+            FrequencyClass.COMMON,
+            FrequencyClass.MODERATE,
+            FrequencyClass.RARE,
+        )
+        while len(apis) < spec.n_apis:
+            pkg, clazz, method = synth_name(len(apis))
+            freq = tail_classes[int(rng.choice(3, p=tail_freq_probs))]
+            add(pkg, clazz, method, None, None, freq)
+
+        internal_calls = cls._generate_internal_calls(
+            spec, rng,
+            n_apis=len(apis),
+            key_like=np.unique(
+                np.concatenate([
+                    np.array(restricted, dtype=int),
+                    np.array(sensitive, dtype=int),
+                    np.array(discriminative, dtype=int),
+                ])
+            ),
+        )
+
+        return cls(
+            spec=spec,
+            apis=apis,
+            permissions=permissions,
+            intents=intents,
+            restricted_ids=np.array(restricted, dtype=int),
+            sensitive_ids=np.array(sensitive, dtype=int),
+            discriminative_ids=np.array(sorted(set(discriminative)), dtype=int),
+            ubiquitous_ids=np.array(ubiquitous, dtype=int),
+            internal_calls=internal_calls,
+        )
+
+    @staticmethod
+    def _generate_internal_calls(
+        spec: SdkSpec,
+        rng: np.random.Generator,
+        n_apis: int,
+        key_like: np.ndarray,
+    ) -> dict[int, tuple[int, ...]]:
+        """Generate the framework-internal call graph.
+
+        A ``dependency_fraction`` share of non-key APIs is wired (directly
+        or through one intermediate hop) to a key-like API, reproducing
+        the §5.4 finding that 9.6% of other APIs internally rely on the
+        426 key APIs.  A sprinkling of unrelated edges adds realism.
+        """
+        key_set = set(int(i) for i in key_like)
+        non_key = np.array([i for i in range(n_apis) if i not in key_set])
+        n_dependent = int(round(spec.dependency_fraction * len(non_key)))
+        dependent = rng.choice(non_key, size=n_dependent, replace=False)
+        calls: dict[int, list[int]] = {}
+        # Two-thirds call a key API directly; one third goes through an
+        # intermediate dependent API (transitive reliance).
+        direct_cut = (2 * n_dependent) // 3
+        for idx, api_id in enumerate(dependent):
+            api_id = int(api_id)
+            if idx < direct_cut or idx == 0:
+                target = int(key_like[int(rng.integers(len(key_like)))])
+            else:
+                target = int(dependent[int(rng.integers(idx))])
+            calls.setdefault(api_id, []).append(target)
+        # Noise edges between non-dependent, non-key APIs only, so they
+        # never create accidental paths into the key set.
+        dependent_set = {int(i) for i in dependent}
+        plain = [i for i in non_key if int(i) not in dependent_set]
+        n_noise = min(len(plain) // 2, max(0, n_apis // 20))
+        if len(plain) >= 2 and n_noise:
+            sources = rng.choice(plain, size=n_noise, replace=False)
+            for src in sources:
+                dst = int(plain[int(rng.integers(len(plain)))])
+                if dst != int(src):
+                    calls.setdefault(int(src), []).append(dst)
+        return {k: tuple(v) for k, v in calls.items()}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._apis)
+
+    def __iter__(self):
+        return iter(self._apis)
+
+    def api(self, api_id: int) -> ApiMethod:
+        return self._apis[api_id]
+
+    def by_name(self, name: str) -> ApiMethod:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown API: {name!r}") from None
+
+    @property
+    def api_names(self) -> list[str]:
+        return [a.name for a in self._apis]
+
+    @property
+    def base_rates(self) -> np.ndarray:
+        """Per-API expected invocations per Monkey event (copy-safe view)."""
+        return self._base_rates
+
+    @property
+    def restricted_api_ids(self) -> np.ndarray:
+        """APIs guarded by dangerous/signature permissions (Set-P source)."""
+        return self._restricted_ids
+
+    @property
+    def sensitive_api_ids(self) -> np.ndarray:
+        """APIs performing sensitive operations (Set-S source)."""
+        return self._sensitive_ids
+
+    @property
+    def discriminative_api_ids(self) -> np.ndarray:
+        """Latent malware-leaning APIs.
+
+        This is *generator ground truth* used only by the corpus
+        synthesizer; the detector never reads it.  SRC mining (Set-C)
+        should approximately recover this set from data.
+        """
+        return self._discriminative_ids
+
+    @property
+    def ubiquitous_api_ids(self) -> np.ndarray:
+        return self._ubiquitous_ids
+
+    @property
+    def common_ops_api_ids(self) -> np.ndarray:
+        """The 13 canonical frequent common-operation APIs.
+
+        These are the paper's frequently invoked APIs with SRC <= -0.2
+        (file I/O and similar): malware uses them noticeably *less* than
+        benign apps, so they join Set-C with negative correlation and —
+        being ubiquitous — dominate the key-API hook cost.
+        """
+        return self._common_ops_ids
+
+    def sensitive_apis(self, category: SensitiveCategory) -> list[ApiMethod]:
+        return [
+            self._apis[i]
+            for i in self._sensitive_ids
+            if self._apis[i].sensitive_category is category
+        ]
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def extend(self, n_new: int, seed: int | None = None) -> "AndroidSdk":
+        """Return a new SDK at ``level + 1`` with ``n_new`` additional APIs.
+
+        New APIs land in the tail (mostly rare); occasionally one is
+        malware-leaning, which lets the key-API set drift over months as
+        in Fig. 14.
+        """
+        if n_new < 0:
+            raise ValueError("n_new must be non-negative")
+        seed = self.spec.seed + self.level + 1 if seed is None else seed
+        rng = np.random.default_rng(seed)
+        apis = list(self._apis)
+        names = set(self._by_name)
+        new_disc: list[int] = []
+        tail_classes = (
+            FrequencyClass.COMMON,
+            FrequencyClass.MODERATE,
+            FrequencyClass.RARE,
+        )
+        tail_probs = np.array([0.05, 0.2, 0.75])
+        while len(apis) < len(self._apis) + n_new:
+            pkg = _PACKAGES[int(rng.integers(len(_PACKAGES)))]
+            clazz = (
+                _CLASS_SUBJECTS[int(rng.integers(len(_CLASS_SUBJECTS)))]
+                + _CLASS_NOUNS[int(rng.integers(len(_CLASS_NOUNS)))]
+            )
+            method = (
+                _METHOD_VERBS[int(rng.integers(len(_METHOD_VERBS)))]
+                + _METHOD_NOUNS[int(rng.integers(len(_METHOD_NOUNS)))]
+                + f"V{self.level + 1}"
+            )
+            name = f"{pkg}.{clazz}.{method}"
+            if name in names:
+                continue
+            freq = tail_classes[int(rng.choice(3, p=tail_probs))]
+            api_id = len(apis)
+            apis.append(
+                ApiMethod(
+                    api_id=api_id,
+                    name=name,
+                    package=pkg,
+                    class_name=clazz,
+                    method_name=method,
+                    permission=None,
+                    sensitive_category=None,
+                    freq_class=freq,
+                    base_rate=_rate_for(freq, rng),
+                    added_in_level=self.level + 1,
+                )
+            )
+            names.add(name)
+            if rng.random() < 0.08:
+                new_disc.append(api_id)
+
+        spec = SdkSpec(
+            n_apis=len(apis),
+            level=self.level + 1,
+            n_restricted=self.spec.n_restricted,
+            n_sensitive=self.spec.n_sensitive,
+            n_discriminative=self.spec.n_discriminative + len(new_disc),
+            n_disc_restricted=self.spec.n_disc_restricted,
+            n_disc_sensitive=self.spec.n_disc_sensitive,
+            n_ubiquitous=self.spec.n_ubiquitous,
+            n_permissions=self.spec.n_permissions,
+            n_intents=self.spec.n_intents,
+            dependency_fraction=self.spec.dependency_fraction,
+            seed=self.spec.seed,
+        )
+        discriminative = np.concatenate(
+            [self._discriminative_ids, np.array(new_disc, dtype=int)]
+        )
+        return AndroidSdk(
+            spec=spec,
+            apis=apis,
+            permissions=self.permissions,
+            intents=self.intents,
+            restricted_ids=self._restricted_ids,
+            sensitive_ids=self._sensitive_ids,
+            discriminative_ids=discriminative,
+            ubiquitous_ids=self._ubiquitous_ids,
+            internal_calls=self.internal_calls,
+        )

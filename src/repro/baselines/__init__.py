@@ -1,0 +1,37 @@
+"""Related-work baselines (Table 1).
+
+Simplified but faithful re-implementations of the representative
+API-centric detectors the paper compares against, each using its
+published feature source (static vs. dynamic extraction, API budget)
+and classifier family, all running over the same corpus substrate so
+Table 1's comparison can be regenerated end to end.
+"""
+
+from repro.baselines.base import BaselineDetector, Table1Row
+from repro.baselines.drebin import Drebin
+from repro.baselines.droidapiminer import DroidApiMiner
+from repro.baselines.droidcat import DroidCat
+from repro.baselines.droiddolphin import DroidDolphin
+from repro.baselines.sharma import SharmaEnsemble
+from repro.baselines.yang2017 import YangDynamic
+
+ALL_BASELINES = (
+    SharmaEnsemble,
+    DroidApiMiner,
+    YangDynamic,
+    DroidCat,
+    DroidDolphin,
+    Drebin,
+)
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineDetector",
+    "Drebin",
+    "DroidApiMiner",
+    "DroidCat",
+    "DroidDolphin",
+    "SharmaEnsemble",
+    "Table1Row",
+    "YangDynamic",
+]

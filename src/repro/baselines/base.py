@@ -1,0 +1,88 @@
+"""Common baseline interface and the Table 1 row model."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.android.sdk import AndroidSdk
+from repro.ml.metrics import ClassificationReport, evaluate
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the related-work comparison table."""
+
+    system: str
+    strategy: str
+    method: str
+    analysis_seconds_per_app: float
+    n_apis: int
+    n_apps: int
+    precision: float
+    recall: float
+
+
+class BaselineDetector(abc.ABC):
+    """A related-work malware detector over the corpus substrate.
+
+    Subclasses declare their published metadata (selection strategy,
+    analysis method) and implement feature extraction + classification.
+    """
+
+    #: Published metadata (Table 1 columns).
+    system_name: str = "baseline"
+    selection_strategy: str = ""
+    analysis_method: str = "static"
+
+    def __init__(self, sdk: AndroidSdk, seed: int = 0):
+        self.sdk = sdk
+        self.seed = seed
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, apps: list[Apk], labels: np.ndarray) -> "BaselineDetector":
+        """Select features and train the published classifier."""
+
+    @abc.abstractmethod
+    def predict(self, apps: list[Apk]) -> np.ndarray:
+        """Hard malice predictions for a batch of apps."""
+
+    @abc.abstractmethod
+    def analysis_seconds(self, apps: list[Apk]) -> float:
+        """Mean per-app feature-extraction time (simulated seconds)."""
+
+    @property
+    @abc.abstractmethod
+    def n_apis(self) -> int:
+        """Number of framework APIs the detector monitors."""
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    def evaluate(
+        self, apps: list[Apk], labels: np.ndarray
+    ) -> ClassificationReport:
+        return evaluate(np.asarray(labels), self.predict(apps))
+
+    def table_row(
+        self, apps: list[Apk], labels: np.ndarray, n_apps_studied: int
+    ) -> Table1Row:
+        """Evaluate and emit this system's Table 1 row."""
+        report = self.evaluate(apps, labels)
+        return Table1Row(
+            system=self.system_name,
+            strategy=self.selection_strategy,
+            method=self.analysis_method,
+            analysis_seconds_per_app=self.analysis_seconds(apps),
+            n_apis=self.n_apis,
+            n_apps=n_apps_studied,
+            precision=report.precision,
+            recall=report.recall,
+        )

@@ -1,0 +1,59 @@
+"""DREBIN (NDSS 2014): broad static features + linear SVM.
+
+Gathers permission-restricted APIs, suspicious (sensitive-operation)
+APIs, requested permissions, and declared intents from the APK, and
+classifies with a linear SVM (~10 s static feature collection per app
+in Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.baselines.base import BaselineDetector
+from repro.ml.svm import LinearSVM
+from repro.staticanalysis.api_extractor import StaticApiExtractor
+
+
+class Drebin(BaselineDetector):
+    """Static hybrid feature SVM."""
+
+    system_name = "DREBIN"
+    selection_strategy = "hybrid"
+    analysis_method = "static"
+
+    def __init__(self, sdk, seed: int = 0):
+        super().__init__(sdk, seed)
+        self._extractor = StaticApiExtractor(sdk)
+        self._api_ids = np.unique(
+            np.concatenate([sdk.restricted_api_ids, sdk.sensitive_api_ids])
+        )
+        self._svm = LinearSVM(epochs=20, seed=seed)
+
+    @property
+    def n_apis(self) -> int:
+        return int(self._api_ids.size)
+
+    def _features(self, apps: list[Apk]) -> np.ndarray:
+        return np.hstack(
+            [
+                self._extractor.usage_matrix(apps, self._api_ids),
+                self._extractor.permission_matrix(apps),
+                self._extractor.intent_matrix(apps),
+            ]
+        )
+
+    def fit(self, apps: list[Apk], labels: np.ndarray):
+        self._svm.fit(self._features(apps), np.asarray(labels).astype(np.uint8))
+        self._fitted = True
+        return self
+
+    def predict(self, apps: list[Apk]) -> np.ndarray:
+        self._require_fitted()
+        return self._svm.predict(self._features(apps))
+
+    def analysis_seconds(self, apps: list[Apk]) -> float:
+        sizes = np.array([a.size_mb for a in apps])
+        # ~10 s on-device feature collection.
+        return float(np.mean(6.0 + sizes * 0.2))

@@ -1,0 +1,75 @@
+"""Yang et al. (CCPE 2017): dynamic inspection of 19 restricted APIs.
+
+Examines the runtime use of 19 APIs guarded by three special permission
+types (device/system information, network access, account charging)
+over a long (~18 minute) emulation, classifying with an SVM (Table 1:
+92.8% precision, 84.9% recall).  The emulation platform is a stock
+emulator, so probe-equipped malware can detect it and go quiet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.baselines.base import BaselineDetector
+from repro.core.engine import DynamicAnalysisEngine
+from repro.core.selection import invocation_matrix
+from repro.emulator.backends import GoogleEmulator
+from repro.emulator.device import DeviceEnvironment
+from repro.ml.svm import LinearSVM
+
+
+class YangDynamic(BaselineDetector):
+    """Long-running dynamic analysis over 19 restricted APIs."""
+
+    system_name = "Yang et al."
+    selection_strategy = "restrictive permissions"
+    analysis_method = "dynamic"
+    API_BUDGET = 19
+    #: ~18 minutes of emulation per app at the reference event pace.
+    MONKEY_EVENTS = 42_000
+
+    def __init__(self, sdk, seed: int = 0):
+        super().__init__(sdk, seed)
+        # The 19 most restrictive-permission APIs by id order stand in
+        # for the three special permission groups.
+        self._api_ids = np.sort(sdk.restricted_api_ids)[: self.API_BUDGET]
+        self._svm = LinearSVM(epochs=20, seed=seed)
+        self._engine = DynamicAnalysisEngine(
+            sdk,
+            tracked_api_ids=self._api_ids,
+            primary=GoogleEmulator(),
+            fallback=None,
+            env=DeviceEnvironment.stock_emulator(),
+            monkey_events=self.MONKEY_EVENTS,
+            seed=seed,
+        )
+        self._mean_minutes: float | None = None
+
+    @property
+    def n_apis(self) -> int:
+        return self.API_BUDGET
+
+    def _features(self, apps: list[Apk]) -> np.ndarray:
+        analyses = self._engine.analyze_corpus(list(apps))
+        self._mean_minutes = float(
+            np.mean([a.total_minutes for a in analyses])
+        )
+        obs = [a.observation for a in analyses]
+        X_full = invocation_matrix(obs, len(self.sdk))
+        return X_full[:, self._api_ids]
+
+    def fit(self, apps: list[Apk], labels: np.ndarray):
+        self._svm.fit(self._features(apps), np.asarray(labels).astype(np.uint8))
+        self._fitted = True
+        return self
+
+    def predict(self, apps: list[Apk]) -> np.ndarray:
+        self._require_fitted()
+        return self._svm.predict(self._features(apps))
+
+    def analysis_seconds(self, apps: list[Apk]) -> float:
+        if self._mean_minutes is None:
+            self._features(list(apps))
+        return self._mean_minutes * 60.0

@@ -1,0 +1,165 @@
+"""Capacity planning for market-scale vetting (§5.2 operations).
+
+The deployed APICHECKER vets ~10K apps/day on one 16-slot server at
+1.92 minutes end-to-end per app.  This module answers the operator
+questions around that number: how many servers does a target daily
+volume need, what queueing delay will developers see at a given
+utilization, and how much headroom a deployment has before submission
+spikes start backing up.
+
+The waiting-time model is the standard M/G/c heavy-traffic
+approximation (Allen–Cunneen): accurate enough for provisioning, and
+exactly the kind of envelope calculation an operator runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emulator.cluster import AnalysisServer
+
+MINUTES_PER_DAY = 24.0 * 60.0
+
+
+@dataclass(frozen=True)
+class AnalysisLoadModel:
+    """Empirical per-app analysis-time distribution.
+
+    Attributes:
+        mean_minutes: mean analysis time per app.
+        cv2: squared coefficient of variation of the analysis time
+            (captures the right-skew of Figs. 9/11).
+    """
+
+    mean_minutes: float
+    cv2: float
+
+    def __post_init__(self):
+        if self.mean_minutes <= 0:
+            raise ValueError("mean_minutes must be positive")
+        if self.cv2 < 0:
+            raise ValueError("cv2 must be non-negative")
+
+    @classmethod
+    def from_samples(cls, minutes) -> "AnalysisLoadModel":
+        """Fit from measured per-app analysis minutes."""
+        arr = np.asarray(list(minutes), dtype=float)
+        if arr.size < 2:
+            raise ValueError("need at least two samples")
+        if arr.min() <= 0:
+            raise ValueError("analysis times must be positive")
+        mean = float(arr.mean())
+        return cls(mean_minutes=mean, cv2=float(arr.var() / mean**2))
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Provisioning answer for one target load."""
+
+    apps_per_day: int
+    servers: int
+    slots: int
+    utilization: float
+    mean_wait_minutes: float
+    headroom_apps_per_day: float
+
+    @property
+    def mean_turnaround_minutes(self) -> float:
+        """Queueing wait plus the analysis itself (what a developer sees)."""
+        return self.mean_wait_minutes + self._service_minutes
+
+    # Set by the planner; stored privately to keep the dataclass frozen.
+    _service_minutes: float = 0.0
+
+
+class CapacityPlanner:
+    """Sizes a vetting deployment for a target daily volume."""
+
+    def __init__(
+        self,
+        load: AnalysisLoadModel,
+        server: AnalysisServer | None = None,
+        max_utilization: float = 0.9,
+    ):
+        if not 0 < max_utilization < 1:
+            raise ValueError("max_utilization must be in (0, 1)")
+        self.load = load
+        self.server = server or AnalysisServer()
+        self.max_utilization = max_utilization
+
+    def slots_needed(self, apps_per_day: int) -> int:
+        """Minimum emulator slots keeping utilization under the cap."""
+        if apps_per_day <= 0:
+            raise ValueError("apps_per_day must be positive")
+        work_minutes = apps_per_day * self.load.mean_minutes
+        return max(
+            1,
+            math.ceil(work_minutes / (MINUTES_PER_DAY * self.max_utilization)),
+        )
+
+    def servers_needed(self, apps_per_day: int) -> int:
+        return math.ceil(
+            self.slots_needed(apps_per_day) / self.server.emulator_slots
+        )
+
+    def utilization(self, apps_per_day: int, servers: int) -> float:
+        if servers <= 0:
+            raise ValueError("servers must be positive")
+        slots = servers * self.server.emulator_slots
+        return (
+            apps_per_day * self.load.mean_minutes / (slots * MINUTES_PER_DAY)
+        )
+
+    def mean_wait_minutes(self, apps_per_day: int, servers: int) -> float:
+        """Allen–Cunneen M/G/c mean queueing delay.
+
+        Submissions arrive roughly Poisson over the day; service times
+        follow the measured distribution (via its CV²).
+        """
+        rho = self.utilization(apps_per_day, servers)
+        if rho >= 1.0:
+            return float("inf")
+        c = servers * self.server.emulator_slots
+        service = self.load.mean_minutes
+        # Erlang-C via the iterative form, scaled by the G-correction.
+        a = rho * c  # offered load in Erlangs
+        erlang_b = 1.0
+        for k in range(1, c + 1):
+            erlang_b = a * erlang_b / (k + a * erlang_b)
+        p_wait = erlang_b / (1.0 - rho + rho * erlang_b)
+        wait_mm1c = p_wait * service / (c * (1.0 - rho))
+        return wait_mm1c * (1.0 + self.load.cv2) / 2.0
+
+    def plan(self, apps_per_day: int) -> CapacityPlan:
+        """Full provisioning answer for a target volume."""
+        servers = self.servers_needed(apps_per_day)
+        slots = servers * self.server.emulator_slots
+        rho = self.utilization(apps_per_day, servers)
+        capacity = (
+            slots * MINUTES_PER_DAY * self.max_utilization
+            / self.load.mean_minutes
+        )
+        plan = CapacityPlan(
+            apps_per_day=apps_per_day,
+            servers=servers,
+            slots=slots,
+            utilization=rho,
+            mean_wait_minutes=self.mean_wait_minutes(apps_per_day, servers),
+            headroom_apps_per_day=capacity - apps_per_day,
+            _service_minutes=self.load.mean_minutes,
+        )
+        return plan
+
+    def max_daily_volume(self, servers: int) -> float:
+        """Largest daily volume ``servers`` machines can absorb at the
+        utilization cap."""
+        if servers <= 0:
+            raise ValueError("servers must be positive")
+        slots = servers * self.server.emulator_slots
+        return (
+            slots * MINUTES_PER_DAY * self.max_utilization
+            / self.load.mean_minutes
+        )

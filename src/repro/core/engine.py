@@ -1,0 +1,174 @@
+"""Dynamic analysis engine: emulation + hooking + reliability plumbing.
+
+Wraps the emulator substrate with the production behaviours of §5.1:
+crash detection (the customized SystemServer reports exceptions to the
+scheduling cores) with bounded retry, and fallback from the lightweight
+Android-x86 engine to the Google full-system emulator for the <1% of
+incompatible apps — so that *every* submitted app gets analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.android.sdk import AndroidSdk
+from repro.corpus.generator import AppCorpus
+from repro.core.features import AppObservation
+from repro.emulator.backends import (
+    EmulatorBackend,
+    EmulatorCrash,
+    GoogleEmulator,
+    IncompatibleAppError,
+    LightweightEmulator,
+)
+from repro.emulator.device import DeviceEnvironment
+from repro.emulator.hooks import HookEngine
+from repro.emulator.monkey import MonkeyExerciser
+from repro.emulator.runtime import EmulationResult, emulate_app
+
+#: Sentinel distinguishing "use the default fallback" from "no fallback".
+_DEFAULT_FALLBACK = object()
+
+
+@dataclass(frozen=True)
+class AppAnalysis:
+    """Engine output for one app.
+
+    Attributes:
+        observation: encoder-ready features.
+        result: the successful emulation run.
+        attempts: total emulation attempts (1 = clean first run).
+        fell_back: True when the Google emulator had to take over.
+        total_minutes: analysis time including failed attempts.
+    """
+
+    observation: AppObservation
+    result: EmulationResult
+    attempts: int
+    fell_back: bool
+    total_minutes: float
+
+
+class DynamicAnalysisEngine:
+    """Analyzes apps on a primary backend with automatic fallback.
+
+    Args:
+        sdk: API registry.
+        tracked_api_ids: APIs to hook (None/empty tracks nothing).
+        primary: main backend (production: the lightweight engine).
+        fallback: reliability backend (production: Google emulator);
+            pass None to disable fallback.
+        env: device environment (production: hardened).
+        monkey_events: UI events per app (paper: 5K).
+        max_retries: crash retries per backend before falling back.
+        seed: rng seed for all stochastic parts.
+    """
+
+    def __init__(
+        self,
+        sdk: AndroidSdk,
+        tracked_api_ids: np.ndarray | list[int] | None = None,
+        primary: EmulatorBackend | None = None,
+        fallback: EmulatorBackend | None = _DEFAULT_FALLBACK,
+        env: DeviceEnvironment | None = None,
+        monkey_events: int = 5000,
+        max_retries: int = 1,
+        seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.sdk = sdk
+        self.hooks = HookEngine(sdk, tracked_api_ids)
+        self.primary = primary or LightweightEmulator()
+        if fallback is _DEFAULT_FALLBACK:
+            fallback = GoogleEmulator()
+        self.fallback = fallback
+        self.env = env or DeviceEnvironment.hardened_emulator()
+        self.monkey = MonkeyExerciser(n_events=monkey_events, seed=seed)
+        self.max_retries = max_retries
+        self._rng = np.random.default_rng(seed)
+        self.stats = {"analyzed": 0, "crashes": 0, "fallbacks": 0}
+
+    @property
+    def tracked_api_ids(self) -> np.ndarray:
+        return self.hooks.tracked_ids
+
+    def _attempt_chain(self) -> list[EmulatorBackend]:
+        chain = [self.primary]
+        if self.fallback is not None and self.fallback is not self.primary:
+            chain.append(self.fallback)
+        return chain
+
+    def analyze(self, apk: Apk) -> AppAnalysis:
+        """Analyze one app, retrying and falling back as needed.
+
+        Raises:
+            RuntimeError: only if every backend exhausts its retries
+                (with a Google-emulator fallback this is vanishingly
+                rare; the production deployment analyzes all apps).
+        """
+        attempts = 0
+        wasted_minutes = 0.0
+        fell_back = False
+        last_error: Exception | None = None
+        for backend_i, backend in enumerate(self._attempt_chain()):
+            if backend_i > 0:
+                fell_back = True
+            for _ in range(self.max_retries + 1):
+                attempts += 1
+                try:
+                    result = emulate_app(
+                        apk,
+                        self.sdk,
+                        backend,
+                        self.env,
+                        self.hooks,
+                        monkey=self.monkey,
+                        rng=self._rng,
+                    )
+                except IncompatibleAppError as exc:
+                    last_error = exc
+                    break  # no point retrying on the same backend
+                except EmulatorCrash as exc:
+                    last_error = exc
+                    self.stats["crashes"] += 1
+                    # A crashed run still burns roughly half its time
+                    # before the SystemServer exception surfaces.
+                    wasted_minutes += self.monkey.n_events * 126.0 / 5000 / 120
+                    continue
+                self.stats["analyzed"] += 1
+                if fell_back:
+                    self.stats["fallbacks"] += 1
+                obs = AppObservation(
+                    apk_md5=apk.md5,
+                    invoked_api_ids=result.hooked_api_ids,
+                    permissions=apk.manifest.requested_permissions,
+                    intents=result.observed_intents,
+                    analysis_minutes=result.analysis_minutes + wasted_minutes,
+                    invoked_api_counts=tuple(
+                        (r.api_id, r.count) for r in result.hook_records
+                    ),
+                )
+                return AppAnalysis(
+                    observation=obs,
+                    result=result,
+                    attempts=attempts,
+                    fell_back=fell_back,
+                    total_minutes=result.analysis_minutes + wasted_minutes,
+                )
+        raise RuntimeError(
+            f"all backends failed for {apk.package_name}: {last_error}"
+        )
+
+    def analyze_corpus(self, corpus: AppCorpus | list[Apk]) -> list[AppAnalysis]:
+        """Analyze a batch of apps sequentially."""
+        return [self.analyze(apk) for apk in corpus]
+
+    def observations(
+        self, corpus: AppCorpus | list[Apk]
+    ) -> list[AppObservation]:
+        """Convenience: analyze and keep only the observations."""
+        return [a.observation for a in self.analyze_corpus(corpus)]

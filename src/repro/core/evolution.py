@@ -1,0 +1,136 @@
+"""Monthly model evolution (§5.3).
+
+APICHECKER retrains every month: the training pool absorbs the month's
+newly reviewed submissions, the key-API selection is re-run (the SDK
+itself gains APIs every few months), and the classifier is refit.  The
+paper observes the key-API count drifting only slightly (425–432,
+Fig. 14) while online precision/recall stay above 98%/96% (Fig. 12).
+
+Online metrics are measured *prospectively*: each month's submissions
+are vetted with the model trained on prior months only, then folded
+into the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checker import ApiChecker
+from repro.core.engine import DynamicAnalysisEngine
+from repro.core.features import AppObservation
+from repro.corpus.generator import AppCorpus
+from repro.corpus.market import MarketStream
+from repro.emulator.backends import GoogleEmulator
+from repro.ml.metrics import ClassificationReport, evaluate
+
+
+@dataclass(frozen=True)
+class MonthlyRecord:
+    """One month of online operation.
+
+    Attributes:
+        month: 1-based month index.
+        report: prospective precision/recall for the month's traffic.
+        n_key_apis: size of the key set after the month's retraining.
+        sdk_size: SDK API count that month.
+        pool_size: training-pool size after absorption.
+    """
+
+    month: int
+    report: ClassificationReport
+    n_key_apis: int
+    sdk_size: int
+    pool_size: int
+
+
+class EvolutionLoop:
+    """Drives monthly vet-then-retrain cycles over a market stream."""
+
+    def __init__(
+        self,
+        stream: MarketStream,
+        initial_corpus: AppCorpus,
+        initial_labels: np.ndarray | None = None,
+        max_pool: int = 8000,
+        checker_seed: int = 0,
+        monkey_events: int = 5000,
+    ):
+        if max_pool < len(initial_corpus):
+            raise ValueError("max_pool must hold at least the initial corpus")
+        self.stream = stream
+        self.max_pool = max_pool
+        self.monkey_events = monkey_events
+        self._checker_seed = checker_seed
+        self._rng = np.random.default_rng(checker_seed)
+        labels = (
+            initial_corpus.labels if initial_labels is None
+            else np.asarray(initial_labels)
+        )
+        self._pool_apps = list(initial_corpus)
+        self._pool_labels = list(np.asarray(labels, dtype=bool))
+        self._pool_obs = self._study(initial_corpus)
+        self.checker = self._retrain()
+        self.history: list[MonthlyRecord] = []
+
+    def _study(self, corpus: AppCorpus | list) -> list[AppObservation]:
+        """All-API study observations for newly arrived apps."""
+        engine = DynamicAnalysisEngine(
+            self.stream.sdk,
+            tracked_api_ids=np.arange(len(self.stream.sdk)),
+            primary=GoogleEmulator(),
+            fallback=None,
+            monkey_events=self.monkey_events,
+            seed=int(self._rng.integers(2**31)),
+        )
+        return engine.observations(corpus)
+
+    def _retrain(self) -> ApiChecker:
+        corpus = AppCorpus(self.stream.sdk, list(self._pool_apps))
+        checker = ApiChecker(
+            self.stream.sdk,
+            monkey_events=self.monkey_events,
+            seed=self._checker_seed,
+        )
+        checker.fit(
+            corpus,
+            labels=np.array(self._pool_labels, dtype=bool),
+            study_observations=list(self._pool_obs),
+        )
+        return checker
+
+    def _absorb(self, batch) -> None:
+        """Add a reviewed month to the pool, evicting oldest overflow."""
+        self._pool_apps.extend(batch.corpus)
+        self._pool_labels.extend(batch.market_labels.astype(bool))
+        self._pool_obs.extend(self._study(batch.corpus))
+        overflow = len(self._pool_apps) - self.max_pool
+        if overflow > 0:
+            self._pool_apps = self._pool_apps[overflow:]
+            self._pool_labels = self._pool_labels[overflow:]
+            self._pool_obs = self._pool_obs[overflow:]
+
+    def run_month(self) -> MonthlyRecord:
+        """Vet one month with the current model, then retrain."""
+        batch = self.stream.next_month()
+        verdicts = self.checker.vet_batch(batch.corpus)
+        predicted = np.array([v.malicious for v in verdicts])
+        report = evaluate(batch.market_labels, predicted)
+        self._absorb(batch)
+        self.checker = self._retrain()
+        record = MonthlyRecord(
+            month=batch.month_index,
+            report=report,
+            n_key_apis=int(self.checker.key_api_ids.size),
+            sdk_size=len(self.stream.sdk),
+            pool_size=len(self._pool_apps),
+        )
+        self.history.append(record)
+        return record
+
+    def run(self, months: int) -> list[MonthlyRecord]:
+        """Run several monthly cycles; returns the new records."""
+        if months < 1:
+            raise ValueError("months must be >= 1")
+        return [self.run_month() for _ in range(months)]

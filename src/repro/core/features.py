@@ -1,0 +1,221 @@
+"""Feature construction: one-hot vectors over APIs, permissions, intents.
+
+The paper encodes each app as a bit vector: one bit per tracked API
+("was it invoked during emulation"), optionally extended with one bit
+per requested permission and one per used intent — the two auxiliary
+feature families that expose reflection- and IPC-hidden behaviour
+(§4.5).  Figure 10's ablation compares the five combinations, captured
+here as :class:`FeatureMode`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.android.sdk import AndroidSdk
+
+
+class FeatureMode(enum.Enum):
+    """Which feature families are enabled (Fig. 10's A/P/I ablation)."""
+
+    A = "A"           # key APIs only
+    AP = "A+P"        # key APIs + permissions
+    AI = "A+I"        # key APIs + intents
+    PI = "P+I"        # permissions + intents only
+    API = "A+P+I"     # everything (the production configuration)
+
+    @property
+    def uses_apis(self) -> bool:
+        return self in (FeatureMode.A, FeatureMode.AP, FeatureMode.AI,
+                        FeatureMode.API)
+
+    @property
+    def uses_permissions(self) -> bool:
+        return self in (FeatureMode.AP, FeatureMode.PI, FeatureMode.API)
+
+    @property
+    def uses_intents(self) -> bool:
+        return self in (FeatureMode.AI, FeatureMode.PI, FeatureMode.API)
+
+
+@dataclass(frozen=True)
+class AppObservation:
+    """What one analyzed app exposes to the feature encoder.
+
+    Attributes:
+        apk_md5: app identity.
+        invoked_api_ids: APIs the hook engine logged.
+        permissions: permissions requested in the manifest.
+        intents: used intents (runtime-sent plus receiver filters).
+        analysis_minutes: simulated analysis time (bookkeeping).
+        invoked_api_counts: (api_id, invocation count) pairs from the
+            hook log — consumed by the histogram encoding the paper
+            sketches as future work (§6); the plain bit-vector encoding
+            ignores them.
+    """
+
+    apk_md5: str
+    invoked_api_ids: tuple[int, ...]
+    permissions: tuple[str, ...]
+    intents: tuple[str, ...]
+    analysis_minutes: float = 0.0
+    invoked_api_counts: tuple[tuple[int, int], ...] = ()
+
+    @classmethod
+    def static_only(cls, apk: Apk) -> "AppObservation":
+        """Observation without any dynamic analysis (P+I mode)."""
+        return cls(
+            apk_md5=apk.md5,
+            invoked_api_ids=(),
+            permissions=apk.manifest.requested_permissions,
+            intents=tuple(
+                sorted(
+                    set(apk.dex.sent_intents)
+                    | set(apk.manifest.receiver_intent_actions)
+                )
+            ),
+        )
+
+
+#: Invocation-count thresholds for the histogram encoding's extra
+#: buckets ("used at all" / "used heavily" / "used pervasively").
+HISTOGRAM_BUCKETS = (1_000, 100_000)
+
+
+class FeatureSpace:
+    """Maps observations to fixed-width one-hot vectors.
+
+    Column layout: [tracked APIs | permissions | intents], with the
+    permission and intent blocks present only when the mode uses them.
+
+    Two API encodings are supported (§6 future work):
+
+    * ``"binary"`` — one bit per API: invoked or not (the deployed
+      APICHECKER encoding);
+    * ``"histogram"`` — three bits per API, thresholding the invocation
+      count at 1 / 1K / 100K, retaining coarse frequency information
+      while keeping every feature binary.
+    """
+
+    def __init__(
+        self,
+        sdk: AndroidSdk,
+        tracked_api_ids: np.ndarray | list[int],
+        mode: FeatureMode = FeatureMode.API,
+        encoding: str = "binary",
+    ):
+        if encoding not in ("binary", "histogram"):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.sdk = sdk
+        self.mode = mode
+        self.encoding = encoding
+        ids = np.unique(np.asarray(tracked_api_ids, dtype=int))
+        if ids.size and (ids.min() < 0 or ids.max() >= len(sdk)):
+            raise ValueError("tracked api id out of range for this SDK")
+        if mode.uses_apis and ids.size == 0:
+            raise ValueError(f"mode {mode.value} needs a non-empty API set")
+        self.api_ids = ids if mode.uses_apis else np.empty(0, dtype=int)
+        self._bits_per_api = (
+            1 + len(HISTOGRAM_BUCKETS) if encoding == "histogram" else 1
+        )
+        self._api_col = {
+            int(a): i * self._bits_per_api
+            for i, a in enumerate(self.api_ids)
+        }
+        api_width = len(self.api_ids) * self._bits_per_api
+        self.permission_names = (
+            list(sdk.permissions.names) if mode.uses_permissions else []
+        )
+        self._perm_col = {
+            name: api_width + i
+            for i, name in enumerate(self.permission_names)
+        }
+        self.intent_names = (
+            list(sdk.intents.names) if mode.uses_intents else []
+        )
+        base = api_width + len(self.permission_names)
+        self._intent_col = {
+            name: base + i for i, name in enumerate(self.intent_names)
+        }
+
+    @property
+    def n_features(self) -> int:
+        return (
+            len(self.api_ids) * self._bits_per_api
+            + len(self.permission_names)
+            + len(self.intent_names)
+        )
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Human-readable column names (``API:``/``Permission:``/``Intent:``)."""
+        names = []
+        for a in self.api_ids:
+            short = self.sdk.api(int(a)).short_name
+            names.append(f"API: {short}")
+            if self.encoding == "histogram":
+                names.extend(
+                    f"API: {short} (>={b:,} calls)"
+                    for b in HISTOGRAM_BUCKETS
+                )
+        names += [
+            f"Permission: {name.rsplit('.', 1)[-1]}"
+            for name in self.permission_names
+        ]
+        names += [
+            f"Intent: {name.rsplit('.', 1)[-1]}" for name in self.intent_names
+        ]
+        return names
+
+    def kind_of_column(self, col: int) -> str:
+        """'api', 'permission' or 'intent' for a column index."""
+        if col < 0 or col >= self.n_features:
+            raise IndexError(f"column {col} out of range")
+        api_width = len(self.api_ids) * self._bits_per_api
+        if col < api_width:
+            return "api"
+        if col < api_width + len(self.permission_names):
+            return "permission"
+        return "intent"
+
+    def encode(self, obs: AppObservation) -> np.ndarray:
+        """One observation -> uint8 vector."""
+        vec = np.zeros(self.n_features, dtype=np.uint8)
+        if self.mode.uses_apis:
+            for api_id in obs.invoked_api_ids:
+                col = self._api_col.get(int(api_id))
+                if col is not None:
+                    vec[col] = 1
+            if self.encoding == "histogram":
+                for api_id, count in obs.invoked_api_counts:
+                    col = self._api_col.get(int(api_id))
+                    if col is None:
+                        continue
+                    vec[col] = 1
+                    for j, bucket in enumerate(HISTOGRAM_BUCKETS):
+                        if count >= bucket:
+                            vec[col + 1 + j] = 1
+        if self.mode.uses_permissions:
+            for name in obs.permissions:
+                col = self._perm_col.get(name)
+                if col is not None:
+                    vec[col] = 1
+        if self.mode.uses_intents:
+            for name in obs.intents:
+                col = self._intent_col.get(name)
+                if col is not None:
+                    vec[col] = 1
+        return vec
+
+    def encode_batch(self, observations: list[AppObservation]) -> np.ndarray:
+        """Observations -> (n, n_features) uint8 matrix."""
+        if not observations:
+            raise ValueError("cannot encode an empty batch")
+        X = np.zeros((len(observations), self.n_features), dtype=np.uint8)
+        for i, obs in enumerate(observations):
+            X[i] = self.encode(obs)
+        return X

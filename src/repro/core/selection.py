@@ -1,0 +1,159 @@
+"""Key-API selection: the paper's four-step strategy (§4.4).
+
+1. **Set-C** — data-driven: Spearman-rank-correlation mining over the
+   invocation matrix.  APIs with SRC >= +0.2 that are not *seldom*
+   invoked qualify, plus APIs with SRC <= −0.2 that are *frequently*
+   invoked (the paper found 13 such common-operation APIs).
+2. **Set-P** — APIs guarded by dangerous/signature permissions (via the
+   axplorer/PScout maps; here the registry carries the map directly).
+3. **Set-S** — APIs performing one of five sensitive-operation
+   categories, from domain knowledge.
+4. The key set is the union Set-C ∪ Set-P ∪ Set-S (~426 APIs with ~16
+   overlaps, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.sdk import AndroidSdk
+from repro.ml.stats import spearman_rho_columns
+
+#: Paper thresholds.
+SRC_THRESHOLD = 0.2
+SELDOM_USAGE_FRACTION = 0.001   # invoked by fewer than 0.1% of apps
+FREQUENT_USAGE_FRACTION = 0.5   # "frequently invoked by most apps"
+
+
+@dataclass(frozen=True)
+class KeyApiSelection:
+    """Outcome of the four-step selection.
+
+    Attributes:
+        set_c / set_p / set_s: per-strategy API id arrays (sorted).
+        key_api_ids: the union (sorted).
+        src: SRC of every SDK API against malice (aligned with api_id).
+        usage_fraction: share of apps invoking each API.
+    """
+
+    set_c: np.ndarray
+    set_p: np.ndarray
+    set_s: np.ndarray
+    key_api_ids: np.ndarray
+    src: np.ndarray
+    usage_fraction: np.ndarray
+
+    @property
+    def n_keys(self) -> int:
+        return int(self.key_api_ids.size)
+
+    def venn_counts(self) -> dict[str, int]:
+        """Exclusive/overlap region sizes as in Fig. 8."""
+        c, p, s = map(
+            lambda a: set(a.tolist()), (self.set_c, self.set_p, self.set_s)
+        )
+        return {
+            "C_only": len(c - p - s),
+            "P_only": len(p - c - s),
+            "S_only": len(s - c - p),
+            "C&P": len((c & p) - s),
+            "C&S": len((c & s) - p),
+            "P&S": len((p & s) - c),
+            "C&P&S": len(c & p & s),
+            "total": len(c | p | s),
+        }
+
+    def overlap_count(self) -> int:
+        """Number of APIs belonging to more than one strategy set."""
+        sizes = self.set_c.size + self.set_p.size + self.set_s.size
+        return int(sizes - self.key_api_ids.size)
+
+    def ranked_by_correlation(self) -> np.ndarray:
+        """All SDK APIs ranked for a 'track top-n correlated' sweep.
+
+        Non-seldom APIs come first (by descending absolute SRC), then
+        seldom APIs — mirroring the paper's prioritization in Fig. 6.
+        """
+        abs_src = np.abs(self.src)
+        non_seldom = self.usage_fraction >= SELDOM_USAGE_FRACTION
+        order = np.lexsort((-abs_src, ~non_seldom))
+        return order
+
+    def top_correlated(self, n: int) -> np.ndarray:
+        """The first n APIs of the correlation ranking (sorted ids)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return np.sort(self.ranked_by_correlation()[:n])
+
+
+def invocation_matrix(
+    observations, n_apis: int
+) -> np.ndarray:
+    """Binary (n_apps, n_apis) invoked-matrix from observations."""
+    X = np.zeros((len(observations), n_apis), dtype=np.uint8)
+    for i, obs in enumerate(observations):
+        ids = np.asarray(obs.invoked_api_ids, dtype=int)
+        if ids.size:
+            X[i, ids] = 1
+    return X
+
+
+def mine_set_c(
+    X_api: np.ndarray,
+    y: np.ndarray,
+    src_threshold: float = SRC_THRESHOLD,
+    seldom_fraction: float = SELDOM_USAGE_FRACTION,
+    frequent_fraction: float = FREQUENT_USAGE_FRACTION,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Statistical-correlation mining (Set-C).
+
+    Args:
+        X_api: binary invocation matrix over *all* SDK APIs.
+        y: malice labels.
+
+    Returns:
+        (set_c_ids, src, usage_fraction).
+    """
+    y = np.asarray(y).astype(np.uint8)
+    src = spearman_rho_columns(X_api, y)
+    usage = X_api.mean(axis=0)
+    positive = (src >= src_threshold) & (usage >= seldom_fraction)
+    negative_frequent = (src <= -src_threshold) & (usage >= frequent_fraction)
+    set_c = np.flatnonzero(positive | negative_frequent)
+    return set_c, src, usage
+
+
+def select_key_apis(
+    X_api: np.ndarray,
+    y: np.ndarray,
+    sdk: AndroidSdk,
+    src_threshold: float = SRC_THRESHOLD,
+    seldom_fraction: float = SELDOM_USAGE_FRACTION,
+    frequent_fraction: float = FREQUENT_USAGE_FRACTION,
+) -> KeyApiSelection:
+    """Run the full four-step strategy.
+
+    ``X_api`` must cover every API of ``sdk`` (the study phase tracks
+    everything once; production then only tracks the selected keys).
+    """
+    if X_api.shape[1] != len(sdk):
+        raise ValueError(
+            f"X_api has {X_api.shape[1]} columns but the SDK has "
+            f"{len(sdk)} APIs"
+        )
+    set_c, src, usage = mine_set_c(
+        X_api, y, src_threshold, seldom_fraction, frequent_fraction
+    )
+    set_p = np.sort(sdk.restricted_api_ids)
+    set_s = np.sort(sdk.sensitive_api_ids)
+    union = np.unique(np.concatenate([set_c, set_p, set_s]))
+    return KeyApiSelection(
+        set_c=np.sort(set_c),
+        set_p=set_p,
+        set_s=set_s,
+        key_api_ids=union,
+        src=src,
+        usage_fraction=usage,
+    )

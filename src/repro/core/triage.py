@@ -1,0 +1,179 @@
+"""False-positive / false-negative triage (§5.2).
+
+The paper treats the two error classes asymmetrically:
+
+* **False positives** are *actively* mitigated daily, because they anger
+  developers: every flagged app is checked, and since ~90% of flagged
+  apps are updates, they can be fast-vetted against their previous
+  version (minutes instead of days of manual work).
+* **False negatives** are handled *passively* on user reports.  Manual
+  inspection of sampled FNs found 87% barely use the key APIs — simple
+  functionality, mild threat — which justifies the passive stance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.core.checker import VetVerdict
+
+#: Manual-inspection cost model (simulated minutes).
+FAST_VET_MINUTES = 6.0          # diff against the previous version
+FULL_MANUAL_MINUTES = 2 * 24 * 60.0  # "a couple of days" (§2)
+
+#: An app "barely uses" the key APIs when its code touches at most this
+#: many of them (the paper's FN analysis, §5.2).  Typical malware touches
+#: around a hundred key APIs; low-key spyware touches a handful of
+#: attack-relevant ones plus common-operation keys like file I/O.
+BARELY_USES_KEYS_MAX = 25
+
+
+@dataclass(frozen=True)
+class FalsePositiveReport:
+    """Daily FP-triage outcome."""
+
+    n_flagged: int
+    n_confirmed_malicious: int
+    n_false_positives: int
+    n_fast_vetted: int
+    manual_minutes: float
+
+    @property
+    def fast_vetted_fraction(self) -> float:
+        return self.n_fast_vetted / self.n_flagged if self.n_flagged else 0.0
+
+
+@dataclass(frozen=True)
+class FalseNegativeReport:
+    """User-report-driven FN-triage outcome."""
+
+    n_reports: int
+    n_confirmed_malicious: int
+    n_barely_using_keys: int
+    manual_minutes: float
+
+    @property
+    def barely_uses_keys_fraction(self) -> float:
+        if not self.n_confirmed_malicious:
+            return 0.0
+        return self.n_barely_using_keys / self.n_confirmed_malicious
+
+
+class TriageCenter:
+    """Runs the manual-inspection workflows around APICHECKER."""
+
+    def __init__(
+        self,
+        key_api_ids: np.ndarray,
+        known_benign_md5s: set[str] | None = None,
+        user_report_prob: float = 0.3,
+        seed: int = 0,
+        exclude_api_ids: np.ndarray | None = None,
+    ):
+        """Args:
+            key_api_ids: the monitored key-API set.
+            exclude_api_ids: keys not counted when judging whether an
+                app "barely uses" the key set — typically the frequent
+                common-operation keys (negative-SRC file I/O etc.),
+                which every app touches and which say nothing about
+                attack capability.
+        """
+        self.key_api_ids = set(np.asarray(key_api_ids, dtype=int).tolist())
+        if exclude_api_ids is not None:
+            self.key_api_ids -= set(
+                np.asarray(exclude_api_ids, dtype=int).tolist()
+            )
+        self.known_benign_md5s = known_benign_md5s or set()
+        if not 0 <= user_report_prob <= 1:
+            raise ValueError("user_report_prob must be a probability")
+        self.user_report_prob = user_report_prob
+        self._rng = np.random.default_rng(seed)
+
+    def key_api_usage(self, apk: Apk) -> int:
+        """How many key APIs the app's code (direct or hidden) touches."""
+        used = set(apk.dex.direct_api_ids) | set(apk.dex.reflection_api_ids)
+        return len(used & self.key_api_ids)
+
+    def triage_flagged(
+        self,
+        apps: list[Apk],
+        verdicts: list[VetVerdict],
+        true_labels: np.ndarray,
+    ) -> FalsePositiveReport:
+        """Inspect every app APICHECKER flagged today.
+
+        Updates whose previous version is known benign ride the fast
+        path; everything else gets a full manual pass.
+        """
+        if not (len(apps) == len(verdicts) == len(true_labels)):
+            raise ValueError("apps, verdicts and labels must align")
+        flagged = [
+            (apk, bool(label))
+            for apk, verdict, label in zip(apps, verdicts, true_labels)
+            if verdict.malicious
+        ]
+        n_fast = 0
+        minutes = 0.0
+        n_fp = 0
+        for apk, truly_malicious in flagged:
+            fast = (
+                apk.is_update
+                and (
+                    apk.parent_md5 in self.known_benign_md5s
+                    or truly_malicious  # family already characterized
+                )
+            )
+            if fast:
+                n_fast += 1
+                minutes += FAST_VET_MINUTES
+            else:
+                minutes += FULL_MANUAL_MINUTES / 60.0  # triaged in parallel
+            if not truly_malicious:
+                n_fp += 1
+                self.known_benign_md5s.add(apk.md5)
+        for apk, verdict, label in zip(apps, verdicts, true_labels):
+            if not verdict.malicious and not label:
+                self.known_benign_md5s.add(apk.md5)
+        return FalsePositiveReport(
+            n_flagged=len(flagged),
+            n_confirmed_malicious=sum(1 for _, m in flagged if m),
+            n_false_positives=n_fp,
+            n_fast_vetted=n_fast,
+            manual_minutes=minutes,
+        )
+
+    def triage_user_reports(
+        self,
+        published: list[Apk],
+        true_labels: np.ndarray,
+    ) -> FalseNegativeReport:
+        """Handle user reports against published (passed) apps.
+
+        Users report a share of the malicious apps that slipped through;
+        each report triggers manual analysis (§5.2's passive workflow).
+        """
+        if len(published) != len(true_labels):
+            raise ValueError("published apps and labels must align")
+        n_reports = 0
+        n_confirmed = 0
+        n_barely = 0
+        minutes = 0.0
+        for apk, label in zip(published, true_labels):
+            if not label:
+                continue  # benign published apps do not draw reports
+            if self._rng.random() >= self.user_report_prob:
+                continue
+            n_reports += 1
+            minutes += FULL_MANUAL_MINUTES / 60.0
+            n_confirmed += 1
+            if self.key_api_usage(apk) <= BARELY_USES_KEYS_MAX:
+                n_barely += 1
+        return FalseNegativeReport(
+            n_reports=n_reports,
+            n_confirmed_malicious=n_confirmed,
+            n_barely_using_keys=n_barely,
+            manual_minutes=minutes,
+        )

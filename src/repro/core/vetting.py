@@ -1,0 +1,120 @@
+"""Daily market vetting service (§5.2 production operation).
+
+One :class:`VettingService` instance is "the single commodity server"
+running APICHECKER at T-Market: it takes a day's submissions, schedules
+their analyses across the 16 emulator slots, classifies each app, and
+runs the FP triage workflow on everything flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checker import ApiChecker, VetVerdict
+from repro.core.triage import FalsePositiveReport, TriageCenter
+from repro.corpus.generator import AppCorpus
+from repro.emulator.cluster import ScheduleReport, ServerCluster
+
+
+@dataclass(frozen=True)
+class DailyReport:
+    """Operational summary of one vetting day.
+
+    Attributes:
+        n_apps: submissions processed.
+        n_flagged: apps APICHECKER marked malicious.
+        verdicts: per-app outcomes.
+        schedule: cluster placement of the analyses.
+        mean_minutes / median_minutes / max_minutes: per-app analysis
+            time distribution.
+        fp_report: outcome of the flagged-app triage (None when no
+            ground truth was supplied).
+    """
+
+    n_apps: int
+    n_flagged: int
+    verdicts: tuple[VetVerdict, ...]
+    schedule: ScheduleReport
+    mean_minutes: float
+    median_minutes: float
+    max_minutes: float
+    fp_report: FalsePositiveReport | None = None
+
+    @property
+    def throughput_per_day(self) -> float:
+        return self.schedule.throughput_per_day()
+
+    @property
+    def flagged_fraction(self) -> float:
+        return self.n_flagged / self.n_apps if self.n_apps else 0.0
+
+
+class VettingService:
+    """APICHECKER in production: vet, schedule, triage, repeat.
+
+    Args:
+        checker: a fitted :class:`ApiChecker`.
+        cluster: the analysis hardware (default: one 16-slot server,
+            matching the deployed system).
+        triage: FP/FN triage center (default: one keyed to the
+            checker's key-API set).
+    """
+
+    def __init__(
+        self,
+        checker: ApiChecker,
+        cluster: ServerCluster | None = None,
+        triage: TriageCenter | None = None,
+    ):
+        checker._require_fitted()
+        self.checker = checker
+        self.cluster = cluster or ServerCluster(n_servers=1)
+        if triage is None:
+            # Frequent keys (invoked by most apps, e.g. the negative-SRC
+            # common-operation APIs) say nothing about attack capability
+            # and are excluded from the "barely uses keys" count.
+            exclude = None
+            if checker.selection is not None:
+                usage = checker.selection.usage_fraction
+                exclude = np.flatnonzero(usage >= 0.5)
+            triage = TriageCenter(
+                checker.key_api_ids, exclude_api_ids=exclude
+            )
+        self.triage = triage
+        self.days_processed = 0
+
+    def process_day(
+        self,
+        submissions: AppCorpus,
+        true_labels: np.ndarray | None = None,
+    ) -> DailyReport:
+        """Vet one day of submissions.
+
+        Args:
+            submissions: the day's APKs.
+            true_labels: review-process labels; when given, flagged apps
+                go through FP triage.
+        """
+        if len(submissions) == 0:
+            raise ValueError("a vetting day needs at least one submission")
+        verdicts = self.checker.vet_batch(submissions)
+        minutes = np.array([v.analysis_minutes for v in verdicts])
+        schedule = self.cluster.schedule(minutes)
+        fp_report = None
+        if true_labels is not None:
+            fp_report = self.triage.triage_flagged(
+                list(submissions), verdicts, np.asarray(true_labels)
+            )
+        self.days_processed += 1
+        return DailyReport(
+            n_apps=len(submissions),
+            n_flagged=sum(v.malicious for v in verdicts),
+            verdicts=tuple(verdicts),
+            schedule=schedule,
+            mean_minutes=float(minutes.mean()),
+            median_minutes=float(np.median(minutes)),
+            max_minutes=float(minutes.max()),
+            fp_report=fp_report,
+        )

@@ -1,0 +1,627 @@
+"""Behaviour archetypes: malware families and benign app categories.
+
+Each archetype is a generative profile over the synthetic SDK: which
+discriminative APIs form its signature, how intensely it uses them, which
+permissions and intents accompany them, and which evasive tricks it
+plays.  Malware archetypes mirror the attack classes the paper calls out
+(SMS fraud, privacy stealing, ransomware, overlay/"cloak and dagger"
+attacks, update attacks via dynamic code loading, privilege escalation).
+
+Benign categories intentionally overlap with malware on *some* sensitive
+behaviour (a messenger legitimately sends SMS; a banking app encrypts)
+— that overlap is what makes precision < 100% and keeps the
+classification problem honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.dex import EmulatorProbe
+from repro.android.sdk import AndroidSdk
+
+
+@dataclass(frozen=True)
+class BehaviorArchetype:
+    """Generative profile for one app category or malware family.
+
+    Attributes:
+        name: archetype identifier.
+        malicious: ground-truth malice of apps drawn from this archetype.
+        weight: relative prevalence within its class (benign/malicious).
+        signature_size: number of discriminative APIs in the signature
+            (used when ``signature_coverage`` is 0).
+        signature_coverage: when positive, the signature instead samples
+            each discriminative-pool API independently with this
+            probability — families overlap heavily, which is what gives
+            individual APIs market-wide correlation with malice.
+        simple_profile: draw the app's ubiquitous-API engagement from
+            the "simple app" distribution that malware follows; set on
+            benign lookalikes so engagement cannot whitelist them.
+        mimics: name of a malware archetype whose signature this (benign)
+            archetype borrows from — a messenger overlaps SMS fraud, an
+            ad-heavy app overlaps adware.  The borrowed pool is sampled
+            with ``signature_coverage``; these lookalikes are the main
+            false-positive source.
+        signature_use_prob: per-signature-API reference probability.
+        signature_use_jitter: per-app relative spread of the signature
+            use probability; wide jitter makes an archetype a continuum
+            from harmless to malware-grade intensity.
+        canonical_apis: canonical API names always eligible for the
+            signature (e.g. ``android.telephony.SmsManager.sendTextMessage``).
+        restricted_draw: (count, prob) extra restricted APIs referenced.
+        sensitive_draw: (count, prob) extra sensitive APIs referenced.
+        breadth_mean: mean number of ordinary (tail/common) APIs used.
+        ubiquitous_prob: per-ubiquitous-API reference probability.
+        rate_intensity: scales invocation-rate multipliers for the app.
+        reflection_prob: probability an app of this archetype is a
+            *reflection-heavy hider*: most of its concealable behaviour
+            moves behind reflection (hidden from API hooks, but the
+            guarding permissions stay visible).
+        delegation_prob: probability the app is an *intent delegator*:
+            most concealable behaviour is requested over intents.
+        probe_prob: probability the app performs emulator detection.
+            Malware hides its attack behaviour when a probe fires;
+            benign apps (DRM, anti-cheat, banking root checks) refuse to
+            run past their entry screens — both distort dynamic analysis
+            on a stock emulator (§4.2).
+        probes: which probes it may use.
+        dynamic_loading_prob / native_prob / obfuscation_prob /
+        live_sensor_prob: code-shape probabilities.
+        extra_permissions: permission names requested beyond API needs.
+        receiver_intents: (actions, prob) broadcast actions listened for.
+        sent_intents: (actions, prob) request actions sent at runtime.
+        n_activities_mean: mean declared Activity count.
+        size_mb_mean: mean APK size.
+    """
+
+    name: str
+    malicious: bool
+    weight: float = 1.0
+    signature_size: int = 12
+    signature_coverage: float = 0.0
+    mimics: str | None = None
+    simple_profile: bool = False
+    signature_use_jitter: float = 0.25
+    signature_use_prob: float = 0.75
+    canonical_apis: tuple[str, ...] = ()
+    restricted_draw: tuple[int, float] = (2, 0.3)
+    sensitive_draw: tuple[int, float] = (2, 0.3)
+    breadth_mean: float = 140.0
+    ubiquitous_prob: float = 0.92
+    rate_intensity: float = 1.0
+    reflection_prob: float = 0.0
+    delegation_prob: float = 0.0
+    probe_prob: float = 0.0
+    probes: tuple[EmulatorProbe, ...] = ()
+    dynamic_loading_prob: float = 0.02
+    native_prob: float = 0.25
+    obfuscation_prob: float = 0.1
+    live_sensor_prob: float = 0.0
+    extra_permissions: tuple[str, ...] = ()
+    receiver_intents: tuple[tuple[str, ...], float] = ((), 0.0)
+    sent_intents: tuple[tuple[str, ...], float] = ((), 0.0)
+    n_activities_mean: float = 14.0
+    size_mb_mean: float = 22.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        for p in (
+            self.signature_use_prob, self.ubiquitous_prob, self.reflection_prob,
+            self.delegation_prob, self.probe_prob, self.dynamic_loading_prob,
+            self.native_prob, self.obfuscation_prob, self.live_sensor_prob,
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability out of range in {self.name}: {p}")
+
+
+_ALL_PROBES = tuple(EmulatorProbe)
+
+#: Malware families.  Signature canonical APIs tie each family to the
+#: attack behaviours the paper describes; probabilities are calibrated so
+#: SRC mining recovers roughly the paper's Set-C size and random forest
+#: accuracy lands near Table 2.
+MALWARE_ARCHETYPES: tuple[BehaviorArchetype, ...] = (
+    BehaviorArchetype(
+        name="sms_fraud",
+        signature_coverage=0.55,
+        malicious=True,
+        weight=3.0,
+        signature_size=18,
+        signature_use_prob=0.85,
+        canonical_apis=(
+            "android.telephony.SmsManager.sendTextMessage",
+            "android.telephony.TelephonyManager.getLine1Number",
+        ),
+        restricted_draw=(8, 0.7),
+        reflection_prob=0.05,
+        delegation_prob=0.03,
+        probe_prob=0.25,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.SEND_SMS",
+            "android.permission.RECEIVE_SMS",
+            "android.permission.READ_SMS",
+            "android.permission.RECEIVE_MMS",
+            "android.permission.RECEIVE_WAP_PUSH",
+        ),
+        receiver_intents=(
+            ("android.provider.Telephony.SMS_RECEIVED",
+             "android.intent.action.PHONE_STATE"),
+            0.9,
+        ),
+        sent_intents=(("android.intent.action.SENDTO",), 0.5),
+        obfuscation_prob=0.4,
+    ),
+    BehaviorArchetype(
+        name="privacy_stealer",
+        signature_coverage=0.55,
+        malicious=True,
+        weight=2.5,
+        signature_size=20,
+        signature_use_prob=0.8,
+        canonical_apis=(
+            "android.telephony.TelephonyManager.getLine1Number",
+            "android.net.wifi.WifiInfo.getMacAddress",
+            "android.content.ContentResolver.query",
+            "java.net.HttpURLConnection.connect",
+        ),
+        restricted_draw=(9, 0.65),
+        sensitive_draw=(4, 0.5),
+        reflection_prob=0.06,
+        delegation_prob=0.025,
+        probe_prob=0.3,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.READ_CONTACTS",
+            "android.permission.READ_PHONE_STATE",
+            "android.permission.ACCESS_NETWORK_STATE",
+        ),
+        receiver_intents=(
+            ("android.net.wifi.STATE_CHANGE",
+             "android.net.conn.CONNECTIVITY_CHANGE"),
+            0.7,
+        ),
+        obfuscation_prob=0.45,
+    ),
+    BehaviorArchetype(
+        name="ransomware",
+        signature_coverage=0.48,
+        malicious=True,
+        weight=1.2,
+        signature_size=16,
+        signature_use_prob=0.85,
+        canonical_apis=(
+            "javax.crypto.Cipher.doFinal",
+            "android.database.sqlite.SQLiteDatabase.insertWithOnConflict",
+        ),
+        sensitive_draw=(6, 0.65),
+        rate_intensity=2.0,
+        reflection_prob=0.03,
+        probe_prob=0.35,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.RECEIVE_BOOT_COMPLETED",
+            "android.permission.WRITE_EXTERNAL_STORAGE",
+            "android.permission.SYSTEM_ALERT_WINDOW",
+        ),
+        receiver_intents=(
+            ("android.app.action.DEVICE_ADMIN_ENABLED",
+             "android.intent.action.BOOT_COMPLETED"),
+            0.85,
+        ),
+        obfuscation_prob=0.5,
+    ),
+    BehaviorArchetype(
+        name="overlay_attack",
+        signature_coverage=0.48,
+        malicious=True,
+        weight=1.5,
+        signature_size=14,
+        signature_use_prob=0.8,
+        canonical_apis=(
+            "android.view.WindowManager.addView",
+            "android.app.ActivityManager.getRunningTasks",
+            "android.view.View.setBackgroundColor",
+        ),
+        sensitive_draw=(3, 0.5),
+        reflection_prob=0.035,
+        delegation_prob=0.035,
+        probe_prob=0.3,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.SYSTEM_ALERT_WINDOW",
+            "android.permission.ACCESS_NETWORK_STATE",
+        ),
+        receiver_intents=(("android.intent.action.USER_PRESENT",), 0.6),
+        obfuscation_prob=0.4,
+    ),
+    BehaviorArchetype(
+        name="botnet",
+        signature_coverage=0.52,
+        malicious=True,
+        weight=1.4,
+        signature_size=18,
+        signature_use_prob=0.75,
+        canonical_apis=(
+            "java.net.HttpURLConnection.connect",
+            "android.app.ActivityManager.getRunningTasks",
+        ),
+        restricted_draw=(7, 0.6),
+        rate_intensity=1.6,
+        reflection_prob=0.045,
+        delegation_prob=0.015,
+        probe_prob=0.4,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.RECEIVE_BOOT_COMPLETED",
+            "android.permission.ACCESS_NETWORK_STATE",
+            "android.permission.WAKE_LOCK",
+        ),
+        receiver_intents=(
+            ("android.intent.action.BOOT_COMPLETED",
+             "android.net.conn.CONNECTIVITY_CHANGE",
+             "android.intent.action.ACTION_BATTERY_OKAY"),
+            0.85,
+        ),
+        obfuscation_prob=0.5,
+    ),
+    BehaviorArchetype(
+        name="rooter",
+        signature_coverage=0.42,
+        malicious=True,
+        weight=0.8,
+        signature_size=12,
+        signature_use_prob=0.85,
+        canonical_apis=("java.lang.Runtime.exec",),
+        sensitive_draw=(5, 0.6),
+        native_prob=0.8,
+        reflection_prob=0.03,
+        probe_prob=0.35,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.WRITE_SECURE_SETTINGS",
+            "android.permission.MOUNT_UNMOUNT_FILESYSTEMS",
+        ),
+        obfuscation_prob=0.6,
+    ),
+    BehaviorArchetype(
+        name="update_attack",
+        signature_coverage=0.20,
+        malicious=True,
+        weight=1.0,
+        signature_size=8,
+        signature_use_prob=0.6,
+        canonical_apis=("dalvik.system.DexClassLoader.loadClass",),
+        dynamic_loading_prob=0.95,
+        reflection_prob=0.10,
+        delegation_prob=0.045,
+        probe_prob=0.45,
+        probes=_ALL_PROBES,
+        extra_permissions=("android.permission.INSTALL_PACKAGES",),
+        sent_intents=(("android.intent.action.INSTALL_PACKAGE",), 0.6),
+        obfuscation_prob=0.7,
+    ),
+    BehaviorArchetype(
+        name="aggressive_adware",
+        signature_coverage=0.52,
+        malicious=True,
+        weight=2.0,
+        signature_size=14,
+        signature_use_prob=0.7,
+        canonical_apis=(
+            "android.view.WindowManager.addView",
+            "java.net.HttpURLConnection.connect",
+            "android.view.View.setBackgroundColor",
+        ),
+        rate_intensity=1.8,
+        delegation_prob=0.03,
+        probe_prob=0.15,
+        probes=_ALL_PROBES,
+        extra_permissions=(
+            "android.permission.SYSTEM_ALERT_WINDOW",
+            "android.permission.ACCESS_NETWORK_STATE",
+        ),
+        receiver_intents=(("android.intent.action.USER_PRESENT",), 0.5),
+        obfuscation_prob=0.3,
+    ),
+    # Low-profile spyware that barely touches key APIs: the source of the
+    # paper's benign-looking false negatives (87% of sampled FNs "barely
+    # use the key APIs we select to monitor", §5.2).
+    BehaviorArchetype(
+        name="lowkey_spy",
+        signature_coverage=0.015,
+        malicious=True,
+        weight=0.9,
+        signature_size=3,
+        signature_use_prob=0.25,
+        restricted_draw=(1, 0.15),
+        sensitive_draw=(1, 0.1),
+        breadth_mean=60.0,
+        reflection_prob=0.15,
+        delegation_prob=0.10,
+        probe_prob=0.2,
+        probes=_ALL_PROBES,
+        extra_permissions=("android.permission.ACCESS_NETWORK_STATE",),
+        obfuscation_prob=0.5,
+        n_activities_mean=6.0,
+        size_mb_mean=8.0,
+    ),
+)
+
+#: Benign categories.  A few deliberately share sensitive behaviour with
+#: malware families (messaging sends SMS, banking encrypts, launchers
+#: query running tasks), generating the false-positive pressure the
+#: paper's triage workflow exists to absorb.
+BENIGN_ARCHETYPES: tuple[BehaviorArchetype, ...] = (
+    BehaviorArchetype(
+        name="game",
+        probe_prob=0.2,
+        probes=_ALL_PROBES,
+        signature_coverage=0.01,
+        malicious=False,
+        weight=5.0,
+        signature_size=2,
+        signature_use_prob=0.06,
+        breadth_mean=200.0,
+        native_prob=0.6,
+        rate_intensity=1.4,
+        n_activities_mean=8.0,
+        size_mb_mean=80.0,
+        live_sensor_prob=0.02,
+    ),
+    BehaviorArchetype(
+        name="social",
+        probe_prob=0.08,
+        probes=_ALL_PROBES,
+        signature_coverage=0.03,
+        malicious=False,
+        weight=3.5,
+        signature_size=3,
+        signature_use_prob=0.10,
+        breadth_mean=260.0,
+        canonical_apis=("java.net.HttpURLConnection.connect",),
+        extra_permissions=(
+            "android.permission.ACCESS_NETWORK_STATE",
+            "android.permission.READ_CONTACTS",
+            "android.permission.CAMERA",
+        ),
+        receiver_intents=(("android.net.conn.CONNECTIVITY_CHANGE",), 0.5),
+        n_activities_mean=24.0,
+        size_mb_mean=60.0,
+        live_sensor_prob=0.03,
+    ),
+    BehaviorArchetype(
+        name="messaging",
+        mimics="sms_fraud",
+        signature_coverage=0.10,
+        malicious=False,
+        weight=1.5,
+        signature_size=3,
+        signature_use_prob=0.25,
+        canonical_apis=(
+            "android.telephony.SmsManager.sendTextMessage",
+            "android.content.ContentResolver.query",
+        ),
+        restricted_draw=(2, 0.3),
+        extra_permissions=(
+            "android.permission.SEND_SMS",
+            "android.permission.RECEIVE_SMS",
+            "android.permission.READ_SMS",
+        ),
+        receiver_intents=(("android.provider.Telephony.SMS_RECEIVED",), 0.8),
+        sent_intents=(("android.intent.action.SENDTO",), 0.6),
+        breadth_mean=180.0,
+        n_activities_mean=16.0,
+    ),
+    BehaviorArchetype(
+        name="finance",
+        probe_prob=0.45,
+        probes=_ALL_PROBES,
+        signature_coverage=0.04,
+        malicious=False,
+        weight=1.2,
+        signature_size=3,
+        signature_use_prob=0.3,
+        canonical_apis=(
+            "javax.crypto.Cipher.doFinal",
+            "java.net.HttpURLConnection.connect",
+        ),
+        sensitive_draw=(2, 0.25),
+        extra_permissions=("android.permission.ACCESS_NETWORK_STATE",),
+        obfuscation_prob=0.5,
+        breadth_mean=220.0,
+        n_activities_mean=28.0,
+    ),
+    BehaviorArchetype(
+        name="tool",
+        signature_coverage=0.05,
+        malicious=False,
+        weight=3.0,
+        signature_size=4,
+        signature_use_prob=0.12,
+        canonical_apis=(
+            "android.net.wifi.WifiInfo.getMacAddress",
+            "android.app.ActivityManager.getRunningTasks",
+        ),
+        restricted_draw=(2, 0.15),
+        extra_permissions=(
+            "android.permission.ACCESS_WIFI_STATE",
+            "android.permission.ACCESS_NETWORK_STATE",
+        ),
+        receiver_intents=(("android.net.wifi.STATE_CHANGE",), 0.35),
+        breadth_mean=120.0,
+        n_activities_mean=9.0,
+        size_mb_mean=12.0,
+    ),
+    BehaviorArchetype(
+        name="media",
+        probe_prob=0.1,
+        probes=_ALL_PROBES,
+        signature_coverage=0.01,
+        malicious=False,
+        weight=2.5,
+        signature_size=1,
+        signature_use_prob=0.05,
+        breadth_mean=170.0,
+        native_prob=0.7,
+        rate_intensity=1.3,
+        n_activities_mean=12.0,
+        size_mb_mean=45.0,
+        live_sensor_prob=0.05,
+    ),
+    BehaviorArchetype(
+        name="shopping",
+        signature_coverage=0.02,
+        malicious=False,
+        weight=2.0,
+        signature_size=2,
+        signature_use_prob=0.08,
+        canonical_apis=("java.net.HttpURLConnection.connect",),
+        extra_permissions=("android.permission.ACCESS_NETWORK_STATE",),
+        breadth_mean=240.0,
+        n_activities_mean=30.0,
+        size_mb_mean=40.0,
+    ),
+    BehaviorArchetype(
+        name="news",
+        signature_coverage=0.01,
+        malicious=False,
+        weight=2.0,
+        signature_size=1,
+        signature_use_prob=0.05,
+        breadth_mean=150.0,
+        n_activities_mean=14.0,
+        size_mb_mean=18.0,
+    ),
+    BehaviorArchetype(
+        name="education",
+        signature_coverage=0.01,
+        malicious=False,
+        weight=1.5,
+        signature_size=1,
+        signature_use_prob=0.04,
+        breadth_mean=130.0,
+        n_activities_mean=11.0,
+        size_mb_mean=25.0,
+    ),
+    # Benign apps bundling aggressive advertising SDKs: overlays, boot
+    # receivers, broad permissions — the classic false-positive source.
+    BehaviorArchetype(
+        name="adlib_heavy",
+        probe_prob=0.25,
+        probes=_ALL_PROBES,
+        simple_profile=True,
+        mimics="aggressive_adware",
+        signature_coverage=0.75,
+        malicious=False,
+        weight=1.0,
+        signature_use_prob=0.7,
+        signature_use_jitter=0.5,
+        canonical_apis=(
+            "java.net.HttpURLConnection.connect",
+            "android.view.WindowManager.addView",
+            "android.app.ActivityManager.getRunningTasks",
+        ),
+        restricted_draw=(3, 0.4),
+        extra_permissions=(
+            "android.permission.SYSTEM_ALERT_WINDOW",
+            "android.permission.ACCESS_NETWORK_STATE",
+            "android.permission.RECEIVE_BOOT_COMPLETED",
+        ),
+        receiver_intents=(
+            ("android.intent.action.USER_PRESENT",
+             "android.net.conn.CONNECTIVITY_CHANGE"),
+            0.6,
+        ),
+        sent_intents=(("android.intent.action.VIEW",), 0.7),
+        obfuscation_prob=0.4,
+        breadth_mean=150.0,
+        n_activities_mean=10.0,
+    ),
+    BehaviorArchetype(
+        name="launcher",
+        mimics="overlay_attack",
+        signature_coverage=0.30,
+        malicious=False,
+        weight=0.8,
+        signature_size=3,
+        signature_use_prob=0.3,
+        canonical_apis=(
+            "android.app.ActivityManager.getRunningTasks",
+            "android.view.WindowManager.addView",
+        ),
+        extra_permissions=("android.permission.SYSTEM_ALERT_WINDOW",),
+        breadth_mean=160.0,
+        n_activities_mean=7.0,
+    ),
+)
+
+
+class ArchetypeCatalog:
+    """Archetypes bound to a concrete SDK.
+
+    Binding resolves each archetype's canonical API names to ids and
+    assigns it a concrete signature subset of the SDK's discriminative
+    pool.  Signatures of different malware families overlap (they are
+    drawn from the same pool), which is what gives individual APIs
+    market-wide correlation with malice rather than with one family.
+    """
+
+    def __init__(self, sdk: AndroidSdk, seed: int = 0):
+        self.sdk = sdk
+        self._rng = np.random.default_rng(seed)
+        self.archetypes: dict[str, BehaviorArchetype] = {}
+        self.signatures: dict[str, np.ndarray] = {}
+        pool = sdk.discriminative_api_ids
+        for arch in MALWARE_ARCHETYPES + BENIGN_ARCHETYPES:
+            self.archetypes[arch.name] = arch
+            canonical_ids = np.array(
+                [sdk.by_name(name).api_id for name in arch.canonical_apis],
+                dtype=int,
+            )
+            if arch.mimics is not None:
+                # Borrow from the mimicked family's signature (malware
+                # archetypes are bound first, so it is already resolved).
+                source = self.signatures[arch.mimics]
+                mask = self._rng.random(len(source)) < arch.signature_coverage
+                drawn = source[mask]
+            elif arch.signature_coverage > 0:
+                mask = self._rng.random(len(pool)) < arch.signature_coverage
+                drawn = pool[mask]
+            else:
+                n_draw = max(0, arch.signature_size - canonical_ids.size)
+                drawn = self._rng.choice(
+                    pool, size=min(n_draw, len(pool)), replace=False
+                )
+            signature = np.unique(
+                np.concatenate([canonical_ids, drawn.astype(int)])
+            )
+            self.signatures[arch.name] = signature
+
+    @property
+    def malware_names(self) -> list[str]:
+        return [a.name for a in MALWARE_ARCHETYPES]
+
+    @property
+    def benign_names(self) -> list[str]:
+        return [a.name for a in BENIGN_ARCHETYPES]
+
+    def get(self, name: str) -> BehaviorArchetype:
+        try:
+            return self.archetypes[name]
+        except KeyError:
+            raise KeyError(f"unknown archetype: {name!r}") from None
+
+    def signature_of(self, name: str) -> np.ndarray:
+        return self.signatures[name]
+
+    def sample_name(self, malicious: bool, rng: np.random.Generator) -> str:
+        """Draw an archetype name weighted by prevalence."""
+        pool = MALWARE_ARCHETYPES if malicious else BENIGN_ARCHETYPES
+        weights = np.array([a.weight for a in pool])
+        weights = weights / weights.sum()
+        return pool[int(rng.choice(len(pool), p=weights))].name

@@ -1,0 +1,158 @@
+"""adb-style session facade over the emulation substrate.
+
+The paper drives each analysis with a fixed adb command sequence:
+install the APK, run the Monkey exerciser, pull the logs, uninstall,
+and clear residual data (§4.2).  ``AdbSession`` reproduces that command
+discipline — every step is recorded in an auditable command log, steps
+enforce ordering (no monkey before install), and ``analyze()`` runs the
+full recipe the way the production scheduler does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.android.apk import Apk
+from repro.android.sdk import AndroidSdk
+from repro.emulator.backends import EmulatorBackend, GoogleEmulator
+from repro.emulator.device import DeviceEnvironment
+from repro.emulator.hooks import HookEngine
+from repro.emulator.monkey import MonkeyExerciser
+from repro.emulator.runtime import EmulationResult, emulate_app
+
+
+class AdbError(RuntimeError):
+    """An adb command was issued out of order or against missing state."""
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    INSTALLED = "installed"
+    EXERCISED = "exercised"
+
+
+@dataclass(frozen=True)
+class AdbCommand:
+    """One recorded adb invocation."""
+
+    command: str
+    target: str
+    seconds: float
+
+
+@dataclass
+class AdbSession:
+    """One emulator's adb connection.
+
+    Typical use::
+
+        session = AdbSession(sdk, hooks=HookEngine(sdk, key_ids))
+        result = session.analyze(apk)      # full §4.2 recipe
+        print([c.command for c in session.command_log])
+    """
+
+    sdk: AndroidSdk
+    backend: EmulatorBackend = field(default_factory=GoogleEmulator)
+    env: DeviceEnvironment = field(
+        default_factory=DeviceEnvironment.hardened_emulator
+    )
+    hooks: HookEngine | None = None
+    monkey: MonkeyExerciser = field(default_factory=MonkeyExerciser)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.hooks is None:
+            self.hooks = HookEngine(self.sdk, [])
+        self._rng = np.random.default_rng(self.seed)
+        self._state = _State.IDLE
+        self._installed: Apk | None = None
+        self._last_result: EmulationResult | None = None
+        self.command_log: list[AdbCommand] = []
+
+    def _record(self, command: str, target: str, seconds: float) -> None:
+        self.command_log.append(AdbCommand(command, target, seconds))
+
+    # ------------------------------------------------------------------
+    # Individual commands (ordering enforced)
+    # ------------------------------------------------------------------
+
+    def install(self, apk: Apk) -> None:
+        """``adb install <apk>``"""
+        if self._state is not _State.IDLE:
+            raise AdbError(
+                f"cannot install {apk.package_name}: "
+                f"{self._installed.package_name} still present"
+            )
+        seconds = (
+            self.backend.install_overhead_s
+            + apk.size_mb / self.backend.install_rate_mb_s
+        )
+        self._record("install", apk.package_name, seconds)
+        self._installed = apk
+        self._state = _State.INSTALLED
+
+    def run_monkey(self) -> EmulationResult:
+        """``adb shell monkey ...`` — exercise the installed app."""
+        if self._state is not _State.INSTALLED:
+            raise AdbError("no app installed to exercise")
+        result = emulate_app(
+            self._installed,
+            self.sdk,
+            self.backend,
+            self.env,
+            self.hooks,
+            monkey=self.monkey,
+            rng=self._rng,
+            raise_on_crash=False,
+        )
+        self._record(
+            "shell monkey",
+            self._installed.package_name,
+            result.analysis_seconds,
+        )
+        self._last_result = result
+        self._state = _State.EXERCISED
+        return result
+
+    def pull_logs(self) -> EmulationResult:
+        """``adb pull`` — fetch the run's hook log."""
+        if self._state is not _State.EXERCISED or self._last_result is None:
+            raise AdbError("no emulation logs to pull")
+        self._record("pull", self._installed.package_name, 1.0)
+        return self._last_result
+
+    def uninstall(self) -> None:
+        """``adb uninstall <package>``"""
+        if self._installed is None:
+            raise AdbError("nothing to uninstall")
+        self._record("uninstall", self._installed.package_name, 2.0)
+        self._installed = None
+        self._state = _State.IDLE
+
+    def clear_data(self) -> None:
+        """``adb shell rm -rf`` residual data — always permitted."""
+        self._record("shell clear", "*", 1.0)
+        self._last_result = None
+
+    # ------------------------------------------------------------------
+    # The full recipe
+    # ------------------------------------------------------------------
+
+    def analyze(self, apk: Apk) -> EmulationResult:
+        """Install → monkey → pull logs → uninstall → clear (§4.2)."""
+        self.install(apk)
+        try:
+            self.run_monkey()
+            result = self.pull_logs()
+        finally:
+            self.uninstall()
+            self.clear_data()
+        return result
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock spent across all recorded commands."""
+        return sum(c.seconds for c in self.command_log)

@@ -1,0 +1,71 @@
+"""Device environment: what the app can observe about where it runs.
+
+Malicious apps probe their environment to decide whether to behave
+(§4.2).  The paper hardens its emulators four ways: randomized device
+identities and network properties, humanized Monkey input timing,
+replayed real-device sensor traces, and obfuscated Xposed artifacts.
+``DeviceEnvironment`` captures exactly those switches, plus whether
+special live sensors (e.g. microphone) can produce real-time data —
+the one gap the hardened emulator cannot close (1.4% of apps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceEnvironment:
+    """Observable properties of the execution environment.
+
+    Each ``*_masked``/``*_humanized`` flag records whether the
+    corresponding emulator give-away has been hidden from the app.
+    On a real device every probe fails by definition.
+    """
+
+    name: str
+    is_real_device: bool = False
+    identifiers_masked: bool = False   # randomized IMEI/IMSI
+    build_props_masked: bool = False   # realistic PRODUCT/MODEL strings
+    network_props_masked: bool = False  # plausible /proc/net/tcp
+    input_humanized: bool = False      # throttle=500ms, pct-touch 50-80%
+    sensors_replayed: bool = False     # real accelerometer/gyro traces
+    xposed_obfuscated: bool = False    # hook artifacts hidden
+    live_sensors: bool = False         # real-time mic/special sensors
+
+    @classmethod
+    def real_device(cls) -> "DeviceEnvironment":
+        """A physical phone (the paper used Google Nexus 6 handsets)."""
+        return cls(
+            name="real-device",
+            is_real_device=True,
+            identifiers_masked=True,
+            build_props_masked=True,
+            network_props_masked=True,
+            input_humanized=True,
+            sensors_replayed=True,
+            xposed_obfuscated=True,
+            live_sensors=True,
+        )
+
+    @classmethod
+    def stock_emulator(cls) -> "DeviceEnvironment":
+        """Google's emulator with default configuration: every probe works."""
+        return cls(name="stock-emulator")
+
+    @classmethod
+    def hardened_emulator(cls) -> "DeviceEnvironment":
+        """The paper's four-fold hardened emulator (§4.2)."""
+        return cls(
+            name="hardened-emulator",
+            identifiers_masked=True,
+            build_props_masked=True,
+            network_props_masked=True,
+            input_humanized=True,
+            sensors_replayed=True,
+            xposed_obfuscated=True,
+        )
+
+    def with_flag(self, **flags: bool) -> "DeviceEnvironment":
+        """Copy with individual hardening switches toggled (for ablations)."""
+        return replace(self, **flags)

@@ -1,0 +1,47 @@
+"""Emulator detection by malware, and what hardening defeats.
+
+Each :class:`~repro.android.dex.EmulatorProbe` checks one class of
+emulator give-away; the corresponding :class:`DeviceEnvironment` flag
+says whether the hardened emulator has closed that channel.  A probe
+that *succeeds* (i.e. detects the emulator) makes the app suppress its
+malicious activity, which is exactly the behaviour the paper's
+controlled experiment quantifies (§4.2: 86.6% API-count parity on the
+stock emulator vs. 98.6% on the hardened one).
+"""
+
+from __future__ import annotations
+
+from repro.android.dex import EmulatorProbe
+from repro.emulator.device import DeviceEnvironment
+
+#: Which environment flag defeats which probe.
+_PROBE_DEFEATED_BY: dict[EmulatorProbe, str] = {
+    EmulatorProbe.DEFAULT_IDENTIFIERS: "identifiers_masked",
+    EmulatorProbe.BUILD_PROPS: "build_props_masked",
+    EmulatorProbe.NETWORK_PROPS: "network_props_masked",
+    EmulatorProbe.INPUT_TIMING: "input_humanized",
+    EmulatorProbe.SENSOR_LIVENESS: "sensors_replayed",
+    EmulatorProbe.XPOSED_PRESENCE: "xposed_obfuscated",
+}
+
+
+def probe_succeeds(probe: EmulatorProbe, env: DeviceEnvironment) -> bool:
+    """Whether one probe detects that it runs on an emulator."""
+    if env.is_real_device:
+        return False
+    flag = _PROBE_DEFEATED_BY[probe]
+    return not getattr(env, flag)
+
+
+def successful_probes(
+    probes: tuple[EmulatorProbe, ...], env: DeviceEnvironment
+) -> list[EmulatorProbe]:
+    """All probes of an app that detect the environment as an emulator."""
+    return [p for p in probes if probe_succeeds(p, env)]
+
+
+def app_detects_emulator(
+    probes: tuple[EmulatorProbe, ...], env: DeviceEnvironment
+) -> bool:
+    """An app goes quiet as soon as any one of its probes succeeds."""
+    return any(probe_succeeds(p, env) for p in probes)

@@ -1,0 +1,76 @@
+"""ARM→x86 dynamic binary translation (Intel Houdini model).
+
+The lightweight engine runs Android-x86 natively on x86 servers, which
+removes the ISA gap for the OS and Dalvik/ART code, but apps shipping
+ARM native libraries still need their instructions translated on the fly
+(§5.1).  Translation costs a modest, size-dependent overhead, and a
+small share of ARM libraries exercises unsupported instruction
+extensions and cannot be translated at all — those apps fall back to the
+full-system emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.dex import DexCode, NativeIsa
+
+
+class TranslationError(RuntimeError):
+    """Raised when a native library cannot be binary-translated."""
+
+
+@dataclass(frozen=True)
+class TranslationReport:
+    """Outcome of translating one app's native libraries.
+
+    Attributes:
+        translated_mb: total ARM code translated.
+        overhead_fraction: extra emulation time as a fraction of the
+            app's base runtime (warm translation cache amortizes cost).
+    """
+
+    translated_mb: float
+    overhead_fraction: float
+
+
+class BinaryTranslator:
+    """Translates an app's ARM native libraries for x86 execution.
+
+    The per-megabyte overhead is small because translation results are
+    cached after first execution; the dominant term is a fixed warm-up.
+    """
+
+    #: Extra runtime fraction per translated megabyte.
+    OVERHEAD_PER_MB = 0.006
+    #: Fixed warm-up fraction when any translation happens.
+    WARMUP_FRACTION = 0.03
+    #: Cap: translation never more than ~15% of runtime in practice.
+    MAX_OVERHEAD_FRACTION = 0.15
+
+    def translate(self, dex: DexCode) -> TranslationReport:
+        """Translate all ARM libraries of an app.
+
+        Raises:
+            TranslationError: when any ARM library is Houdini-incompatible.
+        """
+        arm_libs = [
+            lib for lib in dex.native_libs if lib.isa is NativeIsa.ARM
+        ]
+        if not arm_libs:
+            return TranslationReport(0.0, 0.0)
+        for lib in arm_libs:
+            if not lib.houdini_compatible:
+                raise TranslationError(
+                    f"library {lib.name} uses instructions Houdini cannot "
+                    "translate"
+                )
+        total_mb = float(sum(lib.size_mb for lib in arm_libs))
+        overhead = min(
+            self.MAX_OVERHEAD_FRACTION,
+            self.WARMUP_FRACTION + self.OVERHEAD_PER_MB * total_mb,
+        )
+        return TranslationReport(total_mb, overhead)
+
+    def can_translate(self, dex: DexCode) -> bool:
+        return not dex.houdini_incompatible

@@ -1,0 +1,23 @@
+"""Experiment harness: scaled worlds and table/figure runners.
+
+Every benchmark under ``benchmarks/`` builds on this package: a *world*
+(SDK + corpus generator + train/test corpora + cached all-API study
+observations) at a chosen :class:`~repro.experiments.config.ScaleProfile`,
+plus printing helpers that emit the same rows/series the paper reports.
+"""
+
+from repro.experiments.config import ScaleProfile
+from repro.experiments.harness import (
+    World,
+    build_world,
+    cdf_stats,
+    print_table,
+)
+
+__all__ = [
+    "ScaleProfile",
+    "World",
+    "build_world",
+    "cdf_stats",
+    "print_table",
+]

@@ -1,0 +1,70 @@
+"""Scale profiles for experiments.
+
+The paper runs at 500K apps x 50K APIs; that is out of reach for a
+laptop benchmark suite, so experiments run at named scaled-down
+profiles.  Counts the paper fixes by construction (Set-P = 112,
+Set-S = 70, canonical features) are scale-invariant; data-driven counts
+(Set-C, key-set size) are calibrated to land near the paper's values at
+the BENCH profile; simulated timings are scale-invariant by design
+(they depend on per-app invocation volumes, not corpus size).
+
+Select a profile for the benchmark suite with the ``REPRO_SCALE``
+environment variable (``smoke``, ``bench`` — default, or ``large``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizing knobs for one experiment run.
+
+    Attributes:
+        name: profile identifier.
+        n_apis: synthetic SDK size (paper: ~50K).
+        n_train: training corpus size (paper: ~500K).
+        n_test: held-out evaluation corpus size.
+        rf_trees: random-forest ensemble size.
+        seed: world seed.
+    """
+
+    name: str
+    n_apis: int
+    n_train: int
+    n_test: int
+    rf_trees: int = 60
+    seed: int = 7
+
+    def __post_init__(self):
+        if min(self.n_apis, self.n_train, self.n_test, self.rf_trees) < 1:
+            raise ValueError("all profile sizes must be positive")
+
+    @property
+    def scale_note(self) -> str:
+        return (
+            f"[{self.name}] {self.n_apis} APIs (paper ~50K), "
+            f"{self.n_train} train / {self.n_test} test apps (paper ~500K)"
+        )
+
+
+SMOKE = ScaleProfile(name="smoke", n_apis=1200, n_train=500, n_test=250,
+                     rf_trees=30)
+BENCH = ScaleProfile(name="bench", n_apis=4000, n_train=3000, n_test=1200)
+LARGE = ScaleProfile(name="large", n_apis=8000, n_train=8000, n_test=3000,
+                     rf_trees=80)
+
+_PROFILES = {p.name: p for p in (SMOKE, BENCH, LARGE)}
+
+
+def profile_from_env(default: str = "bench") -> ScaleProfile:
+    """Resolve the active profile from ``REPRO_SCALE``."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; choose from {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""Terminal figure rendering for the benchmark harness.
+
+The paper's evaluation is figure-heavy; the bench suite regenerates
+every series and these helpers render them as ASCII plots so a terminal
+run shows the *shape* (knees, plateaus, crossovers) next to the raw
+numbers.  Pure string output — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BARS = " .:-=+*#%@"
+
+
+def _scale(values: np.ndarray, levels: int) -> np.ndarray:
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return np.zeros(values.size, dtype=int)
+    return np.clip(
+        ((values - lo) / (hi - lo) * (levels - 1)).round().astype(int),
+        0,
+        levels - 1,
+    )
+
+
+def sparkline(values) -> str:
+    """One-line intensity strip for a series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("sparkline needs at least one value")
+    idx = _scale(arr, len(_BARS))
+    return "".join(_BARS[i] for i in idx)
+
+
+def ascii_chart(
+    xs,
+    ys,
+    width: int = 64,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render a line chart as a multi-line string.
+
+    Args:
+        xs, ys: the series (equal lengths, at least two points).
+        width, height: plot body size in characters.
+        x_label, y_label: axis annotations.
+        log_x: place x positions on a log scale (Fig. 6-style sweeps).
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be 1-D of equal length")
+    if xs.size < 2:
+        raise ValueError("need at least two points")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small to render")
+    if log_x:
+        if xs.min() <= 0:
+            raise ValueError("log_x requires positive xs")
+        x_pos = np.log(xs)
+    else:
+        x_pos = xs
+
+    cols = _scale(x_pos, width)
+    rows = _scale(ys, height)
+    grid = [[" "] * width for _ in range(height)]
+    order = np.argsort(cols)
+    # Connect consecutive points with interpolated marks.
+    for a, b in zip(order[:-1], order[1:]):
+        c0, c1 = int(cols[a]), int(cols[b])
+        r0, r1 = int(rows[a]), int(rows[b])
+        steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+        for s in range(steps + 1):
+            c = round(c0 + (c1 - c0) * s / steps)
+            r = round(r0 + (r1 - r0) * s / steps)
+            grid[height - 1 - r][c] = "·"
+    for col, row in zip(cols, rows):
+        grid[height - 1 - int(row)][int(col)] = "o"
+
+    y_hi, y_lo = ys.max(), ys.min()
+    lines = []
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_hi:>9.2f} |"
+        elif i == height - 1:
+            prefix = f"{y_lo:>9.2f} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row_chars))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 11
+        + f"{xs.min():g}".ljust(width // 2)
+        + f"{xs.max():g}".rjust(width // 2)
+    )
+    lines.append(" " * 11 + f"{x_label} -> ({y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(values, width: int = 64, height: int = 10) -> str:
+    """Render the empirical CDF of a sample."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size < 2:
+        raise ValueError("need at least two values")
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return ascii_chart(
+        arr, fractions, width=width, height=height,
+        x_label="value", y_label="CDF",
+    )
+
+
+def print_figure(title: str, chart: str) -> None:
+    """Print a rendered chart under a banner."""
+    print(f"\n--- {title} ---")
+    print(chart)

@@ -1,0 +1,177 @@
+"""Shared experiment world and reporting helpers.
+
+A :class:`World` bundles everything most experiments need — the SDK,
+the corpus generator, labelled train/test corpora, and lazily computed
+all-API study observations (the expensive emulation pass) — memoized
+per (profile, seed) so a benchmark session builds each world once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.android.sdk import AndroidSdk, SdkSpec
+from repro.core.engine import DynamicAnalysisEngine
+from repro.core.features import AppObservation
+from repro.core.selection import (
+    KeyApiSelection,
+    invocation_matrix,
+    select_key_apis,
+)
+from repro.corpus.generator import AppCorpus, CorpusGenerator
+from repro.emulator.backends import GoogleEmulator
+from repro.experiments.config import ScaleProfile
+
+
+@dataclass
+class World:
+    """One fully generated experiment world."""
+
+    profile: ScaleProfile
+    sdk: AndroidSdk
+    generator: CorpusGenerator
+    train: AppCorpus
+    test: AppCorpus
+    _train_obs: list[AppObservation] | None = field(default=None, repr=False)
+    _test_obs: list[AppObservation] | None = field(default=None, repr=False)
+    _selection: KeyApiSelection | None = field(default=None, repr=False)
+
+    def _study(self, corpus: AppCorpus, seed: int) -> list[AppObservation]:
+        engine = DynamicAnalysisEngine(
+            self.sdk,
+            tracked_api_ids=np.arange(len(self.sdk)),
+            primary=GoogleEmulator(),
+            fallback=None,
+            seed=seed,
+        )
+        return engine.observations(corpus)
+
+    @property
+    def train_observations(self) -> list[AppObservation]:
+        """All-API study observations for the training corpus (cached)."""
+        if self._train_obs is None:
+            self._train_obs = self._study(self.train, self.profile.seed + 11)
+        return self._train_obs
+
+    @property
+    def test_observations(self) -> list[AppObservation]:
+        if self._test_obs is None:
+            self._test_obs = self._study(self.test, self.profile.seed + 13)
+        return self._test_obs
+
+    @property
+    def train_api_matrix(self) -> np.ndarray:
+        return invocation_matrix(self.train_observations, len(self.sdk))
+
+    @property
+    def test_api_matrix(self) -> np.ndarray:
+        return invocation_matrix(self.test_observations, len(self.sdk))
+
+    @property
+    def selection(self) -> KeyApiSelection:
+        """The four-step key-API selection over the training corpus."""
+        if self._selection is None:
+            self._selection = select_key_apis(
+                self.train_api_matrix, self.train.labels, self.sdk
+            )
+        return self._selection
+
+
+_WORLD_CACHE: dict[tuple[str, int], World] = {}
+
+
+def build_world(profile: ScaleProfile) -> World:
+    """Build (or fetch the memoized) world for a profile."""
+    key = (profile.name, profile.seed)
+    if key not in _WORLD_CACHE:
+        sdk = AndroidSdk.generate(
+            SdkSpec(n_apis=profile.n_apis, seed=profile.seed)
+        )
+        generator = CorpusGenerator(sdk, seed=profile.seed + 1)
+        train = generator.generate(profile.n_train)
+        test = generator.generate(profile.n_test)
+        _WORLD_CACHE[key] = World(
+            profile=profile,
+            sdk=sdk,
+            generator=generator,
+            train=train,
+            test=test,
+        )
+    return _WORLD_CACHE[key]
+
+
+def clear_world_cache() -> None:
+    """Drop memoized worlds (tests use this to bound memory)."""
+    _WORLD_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Reporting helpers
+# ----------------------------------------------------------------------
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned text table (the bench harness's output format)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def cdf_stats(values) -> dict[str, float]:
+    """Min/mean/median/max summary as the paper annotates its CDFs."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cdf_stats needs at least one value")
+    return {
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+    }
+
+
+def print_cdf(title: str, values, unit: str = "min") -> dict[str, float]:
+    """Print a CDF summary, decile series, and an ASCII CDF plot."""
+    from repro.experiments.figures import ascii_cdf
+
+    stats = cdf_stats(values)
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    deciles = np.percentile(arr, np.arange(0, 101, 10))
+    print(f"\n=== {title} ===")
+    print(
+        "  ".join(
+            f"{k}={v:.2f}{unit}" for k, v in stats.items()
+        )
+    )
+    print(
+        "deciles:",
+        " ".join(f"{d:.2f}" for d in deciles),
+    )
+    if arr.size >= 2 and arr.min() < arr.max():
+        print(ascii_cdf(arr, width=56, height=8))
+    return stats
+
+
+def print_series(
+    title: str, xs, ys, x_label: str = "x", y_label: str = "y",
+    log_x: bool = False,
+) -> None:
+    """Print a series as an ASCII line chart (figure-style output)."""
+    from repro.experiments.figures import ascii_chart
+
+    print(f"\n=== {title} ===")
+    print(
+        ascii_chart(
+            xs, ys, width=56, height=10,
+            x_label=x_label, y_label=y_label, log_x=log_x,
+        )
+    )

@@ -1,0 +1,67 @@
+"""Classifier interface and input validation."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def check_Xy(
+    X: np.ndarray, y: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and normalize a feature matrix (and optional labels).
+
+    X is coerced to a 2-D float32 matrix; y to a 1-D {0,1} int8 vector.
+    """
+    X = np.asarray(X, dtype=np.float32)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise ValueError(f"X must be non-empty, got shape {X.shape}")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains non-finite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"y must be 1-D with {X.shape[0]} entries, got shape {y.shape}"
+        )
+    y = y.astype(np.int8)
+    if not np.isin(y, (0, 1)).all():
+        raise ValueError("y must be binary (0/1 or bool)")
+    return X, y
+
+
+class Classifier(abc.ABC):
+    """Binary classifier interface.
+
+    Implementations are positive-class = malicious by convention; all
+    return probabilities in [0, 1] from :meth:`predict_proba` and hard
+    labels from :meth:`predict`.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "classifier"
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on (X, y); returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(malicious) per row."""
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at the given probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.int8)
+
+    def _require_fitted(self, attr: str) -> None:
+        if getattr(self, attr, None) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"

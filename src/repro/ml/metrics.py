@@ -1,0 +1,96 @@
+"""Classification metrics: precision, recall, F1 (§4.2 definitions).
+
+The paper evaluates malware detection with precision = TP/(TP+FP) and
+recall = TP/(TP+FN), where the positive class is "malicious"; F1 is
+their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Return (TP, FP, TN, FN) with positive = 1 (malicious)."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tp, fp, tn, fn
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Precision/recall/F1 summary for one evaluation.
+
+    Undefined ratios (zero denominators) are reported as 0.0, matching
+    the convention for degenerate folds.
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def support(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} (n={self.support})"
+        )
+
+
+def evaluate(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Build a report from true/predicted labels."""
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    return ClassificationReport(tp, fp, tn, fn)
+
+
+def mean_report(reports: list[ClassificationReport]) -> ClassificationReport:
+    """Pool multiple folds' confusion counts into one report."""
+    if not reports:
+        raise ValueError("cannot average an empty list of reports")
+    return ClassificationReport(
+        tp=sum(r.tp for r in reports),
+        fp=sum(r.fp for r in reports),
+        tn=sum(r.tn for r in reports),
+        fn=sum(r.fn for r in reports),
+    )

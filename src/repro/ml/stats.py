@@ -1,0 +1,183 @@
+"""Statistics used by the feature-selection study.
+
+* Spearman rank correlation (SRC): the paper's feature-mining metric
+  (§4.3), computed as Pearson correlation over tie-corrected ranks.
+* R² (coefficient of determination) for goodness of fit.
+* The tri-modal fit of analysis time vs. number of tracked APIs
+  (Fig. 6): linear head, polynomial middle, logarithmic tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with tie correction, like scipy's default."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("rankdata expects a 1-D array")
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks of tied groups.
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation coefficient of two samples.
+
+    Returns 0.0 when either sample is constant (no ordering to
+    correlate), which is the convenient convention for never-invoked
+    API columns.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("spearman_rho expects two 1-D arrays of equal size")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    rx, ry = rankdata(x), rankdata(y)
+    sx, sy = rx.std(), ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def spearman_rho_columns(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """SRC of every column of a *binary* matrix against binary labels.
+
+    For binary data, ranks are an affine function of the values, so
+    Spearman's rho equals the Pearson (phi) coefficient — computed here
+    vectorized over all columns at once, which is what makes mining 50K
+    API columns tractable.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError("X must be (n, d) and y (n,)")
+    uniq_x = np.unique(X)
+    if not np.isin(uniq_x, (0.0, 1.0)).all() or not np.isin(
+        np.unique(y), (0.0, 1.0)
+    ).all():
+        raise ValueError("spearman_rho_columns requires binary X and y")
+    n = X.shape[0]
+    px = X.mean(axis=0)
+    py = y.mean()
+    cov = (X.T @ y) / n - px * py
+    denom = np.sqrt(px * (1 - px) * py * (1 - py))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = np.where(denom > 0, cov / denom, 0.0)
+    return rho
+
+
+def r2_score(observed: np.ndarray, fitted: np.ndarray) -> float:
+    """Coefficient of determination of a fit."""
+    observed = np.asarray(observed, dtype=float)
+    fitted = np.asarray(fitted, dtype=float)
+    if observed.shape != fitted.shape:
+        raise ValueError("observed and fitted must have equal shapes")
+    ss_res = float(np.sum((observed - fitted) ** 2))
+    ss_tot = float(np.sum((observed - observed.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class TrimodalFit:
+    """Piecewise fit of analysis time vs. #tracked APIs (Fig. 6, Eq. 1).
+
+    Segments (with n = number of tracked APIs):
+      * head,   n < break1:            t = a1*n + b1
+      * middle, break1 <= n <= break2: t = a2 * n**b2
+      * tail,   n > break2:            t = a3*log(n) + b3
+    """
+
+    break1: int
+    break2: int
+    a1: float
+    b1: float
+    a2: float
+    b2: float
+    a3: float
+    b3: float
+    r2_head: float
+    r2_middle: float
+    r2_tail: float
+
+    def predict(self, n: np.ndarray) -> np.ndarray:
+        n = np.asarray(n, dtype=float)
+        out = np.empty_like(n)
+        head = n < self.break1
+        tail = n > self.break2
+        mid = ~head & ~tail
+        out[head] = self.a1 * n[head] + self.b1
+        out[mid] = self.a2 * np.power(n[mid], self.b2)
+        out[tail] = self.a3 * np.log(n[tail]) + self.b3
+        return out
+
+
+def _linfit(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def fit_trimodal(
+    n_tracked: np.ndarray,
+    minutes: np.ndarray,
+    break1: int,
+    break2: int,
+) -> TrimodalFit:
+    """Fit the paper's tri-modal time model to a measured sweep.
+
+    The head is fit linearly, the middle as a power law (linear in
+    log-log space), and the tail logarithmically (linear in log-linear
+    space); each segment reports its own R².
+    """
+    n = np.asarray(n_tracked, dtype=float)
+    t = np.asarray(minutes, dtype=float)
+    if n.shape != t.shape or n.ndim != 1:
+        raise ValueError("n_tracked and minutes must be 1-D of equal size")
+    if not (n.min() >= 1):
+        raise ValueError("n_tracked values must be >= 1")
+    if not 0 < break1 < break2:
+        raise ValueError("need 0 < break1 < break2")
+    head = n < break1
+    mid = (n >= break1) & (n <= break2)
+    tail = n > break2
+    for mask, label in ((head, "head"), (mid, "middle"), (tail, "tail")):
+        if mask.sum() < 2:
+            raise ValueError(f"too few points in the {label} segment")
+
+    a1, b1 = _linfit(n[head], t[head])
+    log_a2, b2 = 0.0, 1.0
+    b2, log_a2 = _linfit(np.log(n[mid]), np.log(np.maximum(t[mid], 1e-9)))
+    a2 = float(np.exp(log_a2))
+    a3, b3 = _linfit(np.log(n[tail]), t[tail])
+
+    fit = TrimodalFit(
+        break1=break1,
+        break2=break2,
+        a1=a1,
+        b1=b1,
+        a2=a2,
+        b2=b2,
+        a3=a3,
+        b3=b3,
+        r2_head=r2_score(t[head], a1 * n[head] + b1),
+        r2_middle=r2_score(t[mid], a2 * np.power(n[mid], b2)),
+        r2_tail=r2_score(t[tail], a3 * np.log(n[tail]) + b3),
+    )
+    return fit

@@ -1,0 +1,225 @@
+"""CART decision trees over binary (one-hot) features.
+
+Because every feature in the pipeline is a 0/1 indicator ("was this API
+invoked / permission requested / intent used"), the only possible split
+per feature is at 0.5 — which lets split search be fully vectorized:
+all candidate features at a node are scored with two matrix reductions.
+
+The same builder serves classification (Gini impurity, used by CART and
+the random forest) and regression (variance reduction, used by GBDT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_Xy
+
+_MAX_DEPTH_CAP = 64
+
+
+@dataclass
+class _Node:
+    """One tree node; ``feature < 0`` marks a leaf with ``value`` set."""
+
+    feature: int = -1
+    value: float = 0.0
+    left: "_Node | None" = None   # feature == 0 branch
+    right: "_Node | None" = None  # feature == 1 branch
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class _TreeBuilder:
+    """Grows one tree; criterion is 'gini' or 'mse'."""
+
+    def __init__(
+        self,
+        criterion: str,
+        max_depth: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        if criterion not in ("gini", "mse"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.criterion = criterion
+        self.max_depth = min(max_depth, _MAX_DEPTH_CAP)
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.importances: np.ndarray | None = None
+        self.n_nodes = 0
+
+    def build(self, X: np.ndarray, target: np.ndarray) -> _Node:
+        """Grow a tree on X (uint8, binary) and target (float)."""
+        n, d = X.shape
+        self.importances = np.zeros(d)
+        self._X = X
+        self._t = target.astype(np.float64)
+        self._n_total = n
+        root = self._grow(np.arange(n), depth=0)
+        del self._X, self._t
+        return root
+
+    # -- split scoring --------------------------------------------------
+
+    def _candidate_features(self, d: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        return self.rng.choice(d, size=self.max_features, replace=False)
+
+    def _leaf_value(self, idx: np.ndarray) -> float:
+        return float(self._t[idx].mean())
+
+    def _node_impurity(self, idx: np.ndarray) -> float:
+        t = self._t[idx]
+        if self.criterion == "gini":
+            p = t.mean()
+            return 2.0 * p * (1.0 - p)
+        return float(t.var())
+
+    def _best_split(
+        self, idx: np.ndarray, feats: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Return (feature, impurity_decrease) or None when unsplittable."""
+        Xc = self._X[np.ix_(idx, feats)]
+        n = idx.size
+        n1 = Xc.sum(axis=0, dtype=np.int64).astype(np.float64)
+        n0 = n - n1
+        t = self._t[idx]
+        s1 = t @ Xc
+        s0 = t.sum() - s1
+        valid = (n0 >= self.min_samples_leaf) & (n1 >= self.min_samples_leaf)
+        if not valid.any():
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self.criterion == "gini":
+                p0 = np.where(n0 > 0, s0 / n0, 0.0)
+                p1 = np.where(n1 > 0, s1 / n1, 0.0)
+                child = (
+                    n0 * 2.0 * p0 * (1.0 - p0) + n1 * 2.0 * p1 * (1.0 - p1)
+                ) / n
+                parent = self._node_impurity(idx)
+                gain = parent - child
+            else:
+                # Variance reduction: maximizing s0^2/n0 + s1^2/n1 is
+                # equivalent; convert to an impurity decrease for the
+                # importance bookkeeping.
+                sse_parent = float(((t - t.mean()) ** 2).sum())
+                score = np.where(n0 > 0, s0**2 / np.maximum(n0, 1), 0.0)
+                score += np.where(n1 > 0, s1**2 / np.maximum(n1, 1), 0.0)
+                sse_child = (t**2).sum() - score
+                gain = (sse_parent - sse_child) / n
+        gain = np.where(valid, gain, -np.inf)
+        best = int(np.argmax(gain))
+        if not np.isfinite(gain[best]) or gain[best] <= 1e-12:
+            return None
+        return int(feats[best]), float(gain[best])
+
+    def _grow(self, idx: np.ndarray, depth: int) -> _Node:
+        self.n_nodes += 1
+        node = _Node(value=self._leaf_value(idx))
+        if (
+            depth >= self.max_depth
+            or idx.size < 2 * self.min_samples_leaf
+            or self._node_impurity(idx) <= 1e-12
+        ):
+            return node
+        feats = self._candidate_features(self._X.shape[1])
+        split = self._best_split(idx, feats)
+        if split is None:
+            return node
+        feature, gain = split
+        mask = self._X[idx, feature] > 0
+        node.feature = feature
+        # Mean-decrease-in-impurity (Gini importance), weighted by the
+        # share of samples reaching this node (Fig. 13's ranking metric).
+        self.importances[feature] += gain * idx.size / self._n_total
+        node.right = self._grow(idx[mask], depth + 1)
+        node.left = self._grow(idx[~mask], depth + 1)
+        return node
+
+
+def predict_tree(root: _Node, X: np.ndarray) -> np.ndarray:
+    """Vectorized prediction: route index groups down the tree."""
+    out = np.empty(X.shape[0], dtype=np.float64)
+    stack = [(root, np.arange(X.shape[0]))]
+    while stack:
+        node, idx = stack.pop()
+        if idx.size == 0:
+            continue
+        if node.is_leaf:
+            out[idx] = node.value
+            continue
+        mask = X[idx, node.feature] > 0
+        stack.append((node.right, idx[mask]))
+        stack.append((node.left, idx[~mask]))
+    return out
+
+
+class CartTree(Classifier):
+    """CART decision-tree classifier (Table 2's 'CART' row).
+
+    Args:
+        max_depth: growth limit (capped at 64).
+        min_samples_leaf: minimum samples per leaf.
+        max_features: candidate features per split; None = all,
+            "sqrt" = square root of the feature count.
+        seed: rng seed for feature subsampling.
+    """
+
+    name = "cart"
+
+    def __init__(
+        self,
+        max_depth: int = 32,
+        min_samples_leaf: int = 2,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if isinstance(self.max_features, int) and self.max_features >= 1:
+            return self.max_features
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CartTree":
+        X, y = check_Xy(X, y)
+        Xb = X.astype(np.uint8)
+        builder = _TreeBuilder(
+            criterion="gini",
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._resolve_max_features(X.shape[1]),
+            rng=np.random.default_rng(self.seed),
+        )
+        self._root = builder.build(Xb, y.astype(np.float64))
+        total = builder.importances.sum()
+        self.feature_importances_ = (
+            builder.importances / total if total > 0 else builder.importances
+        )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("_root")
+        X, _ = check_Xy(X)
+        return predict_tree(self._root, X.astype(np.uint8))

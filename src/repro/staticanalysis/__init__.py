@@ -1,0 +1,29 @@
+"""Static analysis substrate.
+
+Three static tools the paper relies on:
+
+* the referenced-Activity scan over non-obfuscated APKs that motivates
+  the RAC metric (§4.2 — on average only 88% of declared Activities are
+  referenced by code);
+* static API extraction from ``classes.dex`` (what the static baselines
+  of Table 1 consume);
+* the SDK-source coverage scan of §5.4 showing ~9.6% of the other
+  framework APIs internally rely on the 426 key APIs.
+"""
+
+from repro.staticanalysis.api_extractor import StaticApiExtractor
+from repro.staticanalysis.coverage import KeyApiCoverage, dependency_coverage
+from repro.staticanalysis.manifest_scanner import (
+    ReferencedActivityScan,
+    scan_corpus_referenced_fraction,
+    scan_referenced_activities,
+)
+
+__all__ = [
+    "KeyApiCoverage",
+    "ReferencedActivityScan",
+    "StaticApiExtractor",
+    "dependency_coverage",
+    "scan_corpus_referenced_fraction",
+    "scan_referenced_activities",
+]

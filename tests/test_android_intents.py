@@ -1,0 +1,52 @@
+"""Tests for the intent-action registry."""
+
+import pytest
+
+from repro.android.intents import (
+    CANONICAL_INTENTS,
+    IntentAction,
+    IntentRegistry,
+)
+
+
+def test_generation_deterministic():
+    a = IntentRegistry.generate(96, seed=3)
+    b = IntentRegistry.generate(96, seed=3)
+    assert a.names == b.names
+
+
+def test_canonical_intents_present():
+    reg = IntentRegistry.generate(96, seed=0)
+    for name, system in CANONICAL_INTENTS:
+        assert name in reg
+        assert reg.get(name).system_broadcast is system
+
+
+def test_split_between_broadcasts_and_requests():
+    reg = IntentRegistry.generate(120, seed=1)
+    sysb = reg.system_broadcasts()
+    reqs = reg.request_actions()
+    assert sysb and reqs
+    assert len(sysb) + len(reqs) == len(reg)
+
+
+def test_size_honored_and_unique():
+    reg = IntentRegistry.generate(130, seed=2)
+    assert len(reg) == 130
+    assert len(set(reg.names)) == 130
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        IntentRegistry.generate(5)
+
+
+def test_unknown_intent_raises():
+    reg = IntentRegistry.generate(96, seed=2)
+    with pytest.raises(KeyError):
+        reg.get("android.intent.action.NOPE")
+
+
+def test_short_name():
+    a = IntentAction("android.provider.Telephony.SMS_RECEIVED", True)
+    assert a.short_name == "SMS_RECEIVED"

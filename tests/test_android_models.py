@@ -1,0 +1,179 @@
+"""Tests for components, manifest, dex, and APK models."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.components import Activity, BroadcastReceiver, Service
+from repro.android.dex import (
+    ApiCallSite,
+    DexCode,
+    EmulatorProbe,
+    NativeIsa,
+    NativeLib,
+)
+from repro.android.manifest import AndroidManifest
+
+
+def make_manifest(**kwargs):
+    defaults = dict(
+        package_name="com.example.app",
+        version_code=1,
+        requested_permissions=("android.permission.INTERNET",),
+        activities=(
+            Activity("A0", referenced=True),
+            Activity("A1", referenced=False),
+        ),
+        receivers=(
+            BroadcastReceiver(
+                "R0", intent_filters=("android.intent.action.BOOT_COMPLETED",)
+            ),
+        ),
+    )
+    defaults.update(kwargs)
+    return AndroidManifest(**defaults)
+
+
+def make_apk(**kwargs):
+    defaults = dict(
+        manifest=make_manifest(),
+        dex=DexCode(call_sites=(ApiCallSite(3, 1.0, 0.2),)),
+        is_malicious=False,
+        family="tool",
+    )
+    defaults.update(kwargs)
+    return Apk(**defaults)
+
+
+# -- components ---------------------------------------------------------
+
+
+def test_activity_rejects_bad_weight():
+    with pytest.raises(ValueError):
+        Activity("X", reach_weight=0.0)
+
+
+def test_service_defaults():
+    svc = Service("S")
+    assert not svc.exported and not svc.foreground
+
+
+# -- manifest -----------------------------------------------------------
+
+
+def test_referenced_activities_filtering():
+    m = make_manifest()
+    assert m.declared_activity_count == 2
+    assert [a.name for a in m.referenced_activities] == ["A0"]
+
+
+def test_receiver_intent_actions_sorted_unique():
+    m = make_manifest(
+        receivers=(
+            BroadcastReceiver("R0", intent_filters=("b", "a")),
+            BroadcastReceiver("R1", intent_filters=("a",)),
+        )
+    )
+    assert m.receiver_intent_actions == ("a", "b")
+
+
+def test_manifest_rejects_empty_package():
+    with pytest.raises(ValueError):
+        make_manifest(package_name="")
+
+
+def test_manifest_rejects_duplicate_activities():
+    with pytest.raises(ValueError):
+        make_manifest(activities=(Activity("A"), Activity("A")))
+
+
+def test_manifest_requests():
+    m = make_manifest()
+    assert m.requests("android.permission.INTERNET")
+    assert not m.requests("android.permission.SEND_SMS")
+
+
+# -- dex ----------------------------------------------------------------
+
+
+def test_call_site_validation():
+    with pytest.raises(ValueError):
+        ApiCallSite(-1)
+    with pytest.raises(ValueError):
+        ApiCallSite(1, rate_multiplier=0.0)
+    with pytest.raises(ValueError):
+        ApiCallSite(1, reach_quantile=1.5)
+
+
+def test_dex_rejects_duplicate_sites():
+    with pytest.raises(ValueError):
+        DexCode(call_sites=(ApiCallSite(1), ApiCallSite(1)))
+
+
+def test_dex_direct_ids_sorted():
+    dex = DexCode(call_sites=(ApiCallSite(9), ApiCallSite(2), ApiCallSite(5)))
+    assert dex.direct_api_ids == (2, 5, 9)
+
+
+def test_native_lib_flags():
+    ok = NativeLib("a.so", NativeIsa.ARM, houdini_compatible=True)
+    bad = NativeLib("b.so", NativeIsa.ARM, houdini_compatible=False)
+    x86 = NativeLib("c.so", NativeIsa.X86, houdini_compatible=False)
+    assert DexCode(native_libs=(ok,)).has_arm_native_code
+    assert not DexCode(native_libs=(ok,)).houdini_incompatible
+    assert DexCode(native_libs=(bad,)).houdini_incompatible
+    # x86 libraries never need translation, compatible or not.
+    assert not DexCode(native_libs=(x86,)).houdini_incompatible
+
+
+def test_native_lib_rejects_bad_size():
+    with pytest.raises(ValueError):
+        NativeLib("a.so", size_mb=0.0)
+
+
+def test_site_for():
+    dex = DexCode(call_sites=(ApiCallSite(4, 2.0, 0.1),))
+    assert dex.site_for(4).rate_multiplier == 2.0
+    assert dex.site_for(5) is None
+
+
+# -- apk ----------------------------------------------------------------
+
+
+def test_md5_stable_and_content_sensitive():
+    a = make_apk()
+    b = make_apk()
+    assert a.md5 == b.md5
+    c = make_apk(dex=DexCode(call_sites=(ApiCallSite(3, 1.5, 0.2),)))
+    assert a.md5 != c.md5
+
+
+def test_md5_changes_with_version():
+    a = make_apk()
+    b = make_apk(manifest=make_manifest(version_code=2))
+    assert a.md5 != b.md5
+    assert a.package_name == b.package_name
+
+
+def test_update_linkage():
+    a = make_apk()
+    b = make_apk(
+        manifest=make_manifest(version_code=2), parent_md5=a.md5
+    )
+    assert not a.is_update
+    assert b.is_update
+
+
+def test_apk_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        make_apk(size_mb=0.0)
+
+
+def test_apk_hashable_by_md5():
+    a = make_apk()
+    b = make_apk()
+    assert len({a, b}) == 1
+
+
+def test_emulator_probe_enum_complete():
+    # The six probe channels from the paper's hardening list.
+    assert len(EmulatorProbe) == 6

@@ -1,0 +1,71 @@
+"""Tests for the permission registry."""
+
+import pytest
+
+from repro.android.permissions import (
+    CANONICAL_PERMISSIONS,
+    Permission,
+    PermissionRegistry,
+    ProtectionLevel,
+)
+
+
+def test_generation_deterministic():
+    a = PermissionRegistry.generate(160, seed=3)
+    b = PermissionRegistry.generate(160, seed=3)
+    assert a.names == b.names
+
+
+def test_canonical_permissions_always_present():
+    reg = PermissionRegistry.generate(160, seed=0)
+    for name, level in CANONICAL_PERMISSIONS:
+        assert name in reg
+        assert reg.get(name).level is level
+
+
+def test_requested_size_is_honored():
+    reg = PermissionRegistry.generate(200, seed=1)
+    assert len(reg) == 200
+    assert len(set(reg.names)) == 200
+
+
+def test_too_small_registry_rejected():
+    with pytest.raises(ValueError):
+        PermissionRegistry.generate(10)
+
+
+def test_restrictive_levels():
+    assert ProtectionLevel.DANGEROUS.is_restrictive
+    assert ProtectionLevel.SIGNATURE.is_restrictive
+    assert not ProtectionLevel.NORMAL.is_restrictive
+
+
+def test_restrictive_query_matches_levels():
+    reg = PermissionRegistry.generate(160, seed=2)
+    restrictive = reg.restrictive()
+    assert restrictive
+    assert all(p.level.is_restrictive for p in restrictive)
+    normals = reg.at_level(ProtectionLevel.NORMAL)
+    assert len(restrictive) + len(normals) == len(reg)
+
+
+def test_unknown_permission_raises():
+    reg = PermissionRegistry.generate(160, seed=2)
+    with pytest.raises(KeyError):
+        reg.get("android.permission.DOES_NOT_EXIST")
+
+
+def test_short_name():
+    p = Permission("android.permission.SEND_SMS", ProtectionLevel.DANGEROUS)
+    assert p.short_name == "SEND_SMS"
+
+
+def test_duplicate_names_rejected():
+    p = Permission("android.permission.X", ProtectionLevel.NORMAL)
+    with pytest.raises(ValueError):
+        PermissionRegistry([p, p])
+
+
+def test_empty_registry_rejected():
+    with pytest.raises(ValueError):
+        PermissionRegistry([])

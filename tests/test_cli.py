@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_command(capsys):
+    code = main(
+        ["demo", "--apis", "900", "--train", "220", "--fresh", "60",
+         "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "key APIs:" in out
+    assert "precision=" in out
+    assert "mean scan:" in out
+
+
+def test_vet_command_writes_log(tmp_path, capsys):
+    log = tmp_path / "analysis.jsonl"
+    code = main(
+        ["vet", "--apis", "900", "--train", "220", "--fresh", "40",
+         "--seed", "3", "--log", str(log)]
+    )
+    assert code == 0
+    assert "wrote 40 analysis records" in capsys.readouterr().out
+    from repro.core.reporting import read_log
+
+    records = list(read_log(log))
+    assert len(records) == 40
+    assert all(r.verdict is not None for r in records)
+
+
+def test_evolve_command(capsys):
+    code = main(
+        ["evolve", "--apis", "900", "--train", "250", "--months", "2",
+         "--per-month", "80", "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("\n") >= 3  # header + 2 months

@@ -1,0 +1,109 @@
+"""Tests for capacity planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import (
+    AnalysisLoadModel,
+    CapacityPlanner,
+    MINUTES_PER_DAY,
+)
+from repro.emulator.cluster import AnalysisServer
+
+
+@pytest.fixture()
+def load():
+    # The deployed operating point: ~1.92 min/app end-to-end, skewed.
+    return AnalysisLoadModel(mean_minutes=1.92, cv2=0.5)
+
+
+def test_load_model_validation():
+    with pytest.raises(ValueError):
+        AnalysisLoadModel(mean_minutes=0, cv2=0.1)
+    with pytest.raises(ValueError):
+        AnalysisLoadModel(mean_minutes=1, cv2=-1)
+
+
+def test_load_model_from_samples(rng):
+    samples = rng.lognormal(np.log(1.8), 0.4, size=500)
+    model = AnalysisLoadModel.from_samples(samples)
+    assert abs(model.mean_minutes - samples.mean()) < 1e-9
+    assert model.cv2 > 0
+    with pytest.raises(ValueError):
+        AnalysisLoadModel.from_samples([1.0])
+    with pytest.raises(ValueError):
+        AnalysisLoadModel.from_samples([1.0, -1.0])
+
+
+def test_paper_deployment_point(load):
+    """One 16-slot server handles ~10K apps/day (§5.2)."""
+    planner = CapacityPlanner(load, max_utilization=0.9)
+    assert planner.servers_needed(10_000) == 1
+    assert planner.max_daily_volume(1) > 10_000
+
+
+def test_slots_scale_linearly(load):
+    planner = CapacityPlanner(load)
+    one = planner.slots_needed(5_000)
+    ten = planner.slots_needed(50_000)
+    assert 9 * one <= ten <= 11 * one
+
+
+def test_utilization_matches_definition(load):
+    planner = CapacityPlanner(load)
+    rho = planner.utilization(10_000, servers=1)
+    assert rho == pytest.approx(
+        10_000 * 1.92 / (16 * MINUTES_PER_DAY)
+    )
+
+
+def test_wait_grows_with_load(load):
+    planner = CapacityPlanner(load)
+    light = planner.mean_wait_minutes(4_000, servers=1)
+    heavy = planner.mean_wait_minutes(11_000, servers=1)
+    assert 0 <= light < heavy
+    # Saturated systems wait forever.
+    assert planner.mean_wait_minutes(20_000, servers=1) == float("inf")
+
+
+def test_wait_shrinks_with_servers(load):
+    planner = CapacityPlanner(load)
+    one = planner.mean_wait_minutes(11_000, servers=1)
+    two = planner.mean_wait_minutes(11_000, servers=2)
+    assert two < one
+
+
+def test_variance_increases_wait(load):
+    smooth = CapacityPlanner(AnalysisLoadModel(1.92, cv2=0.0))
+    spiky = CapacityPlanner(AnalysisLoadModel(1.92, cv2=2.0))
+    assert spiky.mean_wait_minutes(11_000, 1) > smooth.mean_wait_minutes(
+        11_000, 1
+    )
+
+
+def test_plan_fields(load):
+    planner = CapacityPlanner(load, max_utilization=0.85)
+    plan = planner.plan(30_000)
+    assert plan.servers >= 1
+    assert plan.slots == plan.servers * 16
+    assert plan.utilization <= 0.85 + 1e-9
+    assert plan.headroom_apps_per_day >= 0
+    assert plan.mean_turnaround_minutes >= plan.mean_wait_minutes
+
+
+def test_custom_server_shape(load):
+    small = AnalysisServer(cores=10, emulator_slots=8)
+    planner = CapacityPlanner(load, server=small)
+    assert planner.servers_needed(10_000) == 2
+
+
+def test_validation(load):
+    planner = CapacityPlanner(load)
+    with pytest.raises(ValueError):
+        planner.slots_needed(0)
+    with pytest.raises(ValueError):
+        planner.utilization(100, servers=0)
+    with pytest.raises(ValueError):
+        planner.max_daily_volume(0)
+    with pytest.raises(ValueError):
+        CapacityPlanner(load, max_utilization=1.0)

@@ -1,0 +1,115 @@
+"""Tests for differential update re-vetting."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffvet import (
+    DIFF_CHECK_SECONDS,
+    DiffVetter,
+    StaticProfile,
+)
+from repro.corpus.generator import CorpusGenerator
+
+
+@pytest.fixture()
+def vetter(fitted_checker):
+    return DiffVetter(fitted_checker)
+
+
+def test_threshold_validation(fitted_checker):
+    with pytest.raises(ValueError):
+        DiffVetter(fitted_checker, similarity_threshold=0.2)
+
+
+def test_requires_fitted_checker(sdk):
+    from repro.core.checker import ApiChecker
+
+    with pytest.raises(RuntimeError):
+        DiffVetter(ApiChecker(sdk))
+
+
+def test_first_submission_always_full_scan(vetter, generator):
+    apk = generator.sample_app(malicious=False, update_prob=0.0)
+    decision = vetter.vet(apk)
+    assert not decision.fast_path
+    assert decision.reason == "no scanned parent"
+    assert vetter.stats["full_scans"] == 1
+
+
+def test_near_identical_update_rides_fast_path(vetter, sdk, catalog):
+    gen = CorpusGenerator(sdk, seed=700, catalog=catalog)
+    # Generate a package and many updates of it.
+    first = gen.sample_app(archetype="tool", update_prob=0.0)
+    vetter.vet(first)
+    fast = 0
+    scanned = {first.md5}
+    for _ in range(60):
+        candidate = gen.sample_app(archetype="tool", update_prob=0.95)
+        decision = vetter.vet(candidate)
+        if candidate.parent_md5 in scanned and decision.fast_path:
+            fast += 1
+            assert decision.similarity >= vetter.similarity_threshold
+            assert decision.verdict.analysis_minutes == pytest.approx(
+                DIFF_CHECK_SECONDS / 60.0
+            )
+        scanned.add(candidate.md5)
+    assert fast > 0, "no update ever took the fast path"
+
+
+def test_fast_path_cuts_analysis_time(vetter, sdk, catalog):
+    gen = CorpusGenerator(sdk, seed=701, catalog=catalog)
+    apps = [gen.sample_app(malicious=False, update_prob=0.9)
+            for _ in range(60)]
+    decisions = vetter.vet_batch(apps)
+    minutes = np.array([d.verdict.analysis_minutes for d in decisions])
+    fast = np.array([d.fast_path for d in decisions])
+    if fast.any():
+        assert minutes[fast].max() < minutes[~fast].min()
+
+
+def test_capability_gain_forces_full_scan(vetter, generator, sdk):
+    from dataclasses import replace
+
+    first = generator.sample_app(archetype="news", update_prob=0.0)
+    vetter.vet(first)
+    # Forge an "update" that suddenly requests SEND_SMS.
+    manifest = replace(
+        first.manifest,
+        version_code=2,
+        requested_permissions=first.manifest.requested_permissions
+        + ("android.permission.SEND_SMS",),
+    )
+    update = replace(first, manifest=manifest, parent_md5=first.md5,
+                     _md5="")
+    decision = vetter.vet(update)
+    assert not decision.fast_path
+    assert decision.reason == "capability gained"
+
+
+def test_profile_similarity_metrics():
+    a = StaticProfile(
+        api_ids=frozenset({1, 2, 3}),
+        hidden_api_ids=frozenset(),
+        permissions=frozenset({"p"}),
+        intents=frozenset(),
+    )
+    b = StaticProfile(
+        api_ids=frozenset({1, 2}),
+        hidden_api_ids=frozenset({3}),
+        permissions=frozenset({"p"}),
+        intents=frozenset(),
+    )
+    assert a.jaccard(b) == 1.0  # hidden + direct are pooled
+    assert not b.gained_capability(a) or b.hidden_api_ids - a.hidden_api_ids
+    empty = StaticProfile(frozenset(), frozenset(), frozenset(), frozenset())
+    assert empty.jaccard(empty) == 1.0
+
+
+def test_fast_path_fraction_reporting(vetter, sdk, catalog):
+    gen = CorpusGenerator(sdk, seed=702, catalog=catalog)
+    apps = [gen.sample_app(malicious=False, update_prob=0.9)
+            for _ in range(40)]
+    vetter.vet_batch(apps)
+    total = vetter.stats["full_scans"] + vetter.stats["fast_paths"]
+    assert total == 40
+    assert 0.0 <= vetter.fast_path_fraction <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for monthly model evolution (slow-ish; kept small)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import EvolutionLoop
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.market import MarketStream
+
+
+@pytest.fixture(scope="module")
+def loop(sdk):
+    stream = MarketStream(
+        sdk, apps_per_month=120, seed=77, sdk_update_every=2, sdk_growth=30
+    )
+    initial = stream.bootstrap_corpus(400)
+    return EvolutionLoop(
+        stream, initial, max_pool=900, checker_seed=79, monkey_events=5000
+    )
+
+
+def test_initial_training(loop):
+    assert loop.checker.key_api_ids.size > 50
+
+
+def test_monthly_cycle_records(loop):
+    records = loop.run(3)
+    assert [r.month for r in records] == [1, 2, 3]
+    for rec in records:
+        assert rec.report.support > 0
+        assert rec.n_key_apis > 50
+        assert rec.pool_size <= 900
+    # The SDK grew at month 3 ((3-1) % 2 == 0).
+    assert records[-1].sdk_size > records[0].sdk_size
+
+
+def test_online_accuracy_stays_high(loop):
+    # Runs after the previous test thanks to module-scoped fixture.
+    history = loop.history or loop.run(2)
+    f1s = [r.report.f1 for r in history]
+    assert min(f1s) > 0.6
+
+
+def test_key_set_drift_is_mild(loop):
+    history = loop.history or loop.run(2)
+    sizes = [r.n_key_apis for r in history]
+    assert max(sizes) - min(sizes) < 0.25 * max(sizes)
+
+
+def test_pool_eviction(sdk):
+    stream = MarketStream(sdk, apps_per_month=60, seed=88, sdk_update_every=0)
+    initial = stream.bootstrap_corpus(100)
+    loop = EvolutionLoop(stream, initial, max_pool=130, checker_seed=90)
+    rec = loop.run_month()
+    assert rec.pool_size == 130
+
+
+def test_rejects_pool_smaller_than_initial(sdk):
+    stream = MarketStream(sdk, apps_per_month=10, seed=91)
+    initial = stream.bootstrap_corpus(50)
+    with pytest.raises(ValueError):
+        EvolutionLoop(stream, initial, max_pool=20)
+
+
+def test_run_validates_months(loop):
+    with pytest.raises(ValueError):
+        loop.run(0)

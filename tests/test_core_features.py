@@ -1,0 +1,114 @@
+"""Tests for feature modes, observations, and the feature space."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+
+
+def test_mode_flags():
+    assert FeatureMode.A.uses_apis and not FeatureMode.A.uses_permissions
+    assert FeatureMode.PI.uses_permissions and FeatureMode.PI.uses_intents
+    assert not FeatureMode.PI.uses_apis
+    assert all(
+        getattr(FeatureMode.API, f"uses_{k}")
+        for k in ("apis", "permissions", "intents")
+    )
+
+
+def test_feature_space_layout(sdk):
+    space = FeatureSpace(sdk, [3, 1, 2], FeatureMode.API)
+    n_perm = len(sdk.permissions)
+    n_intent = len(sdk.intents)
+    assert space.n_features == 3 + n_perm + n_intent
+    assert space.kind_of_column(0) == "api"
+    assert space.kind_of_column(3) == "permission"
+    assert space.kind_of_column(3 + n_perm) == "intent"
+    with pytest.raises(IndexError):
+        space.kind_of_column(space.n_features)
+
+
+def test_feature_space_sorts_and_dedups_api_ids(sdk):
+    space = FeatureSpace(sdk, [5, 5, 2], FeatureMode.A)
+    assert space.api_ids.tolist() == [2, 5]
+    assert space.n_features == 2
+
+
+def test_api_mode_requires_apis(sdk):
+    with pytest.raises(ValueError):
+        FeatureSpace(sdk, [], FeatureMode.A)
+    # P+I mode needs no APIs at all.
+    space = FeatureSpace(sdk, [], FeatureMode.PI)
+    assert space.api_ids.size == 0
+
+
+def test_out_of_range_api_rejected(sdk):
+    with pytest.raises(ValueError):
+        FeatureSpace(sdk, [len(sdk)], FeatureMode.A)
+
+
+def test_encode_sets_expected_bits(sdk):
+    perm = sdk.permissions.names[0]
+    intent = sdk.intents.names[0]
+    space = FeatureSpace(sdk, [1, 4], FeatureMode.API)
+    obs = AppObservation(
+        apk_md5="x",
+        invoked_api_ids=(4,),
+        permissions=(perm,),
+        intents=(intent,),
+    )
+    vec = space.encode(obs)
+    assert vec.sum() == 3
+    assert vec[1] == 1  # api 4 is the second tracked column
+    assert vec[2] == 1  # first permission column
+    assert vec[2 + len(sdk.permissions.names)] == 1  # first intent column
+
+
+def test_encode_ignores_unknown_identifiers(sdk):
+    space = FeatureSpace(sdk, [1], FeatureMode.API)
+    obs = AppObservation(
+        apk_md5="x",
+        invoked_api_ids=(99999,),
+        permissions=("com.unknown.PERM",),
+        intents=("com.unknown.INTENT",),
+    )
+    assert space.encode(obs).sum() == 0
+
+
+def test_mode_restricts_blocks(sdk):
+    obs = AppObservation(
+        apk_md5="x",
+        invoked_api_ids=(1,),
+        permissions=(sdk.permissions.names[0],),
+        intents=(sdk.intents.names[0],),
+    )
+    a_only = FeatureSpace(sdk, [1], FeatureMode.A)
+    assert a_only.encode(obs).sum() == 1
+    pi = FeatureSpace(sdk, [1], FeatureMode.PI)
+    assert pi.encode(obs).sum() == 2
+
+
+def test_encode_batch_shape_and_error(sdk):
+    space = FeatureSpace(sdk, [1, 2], FeatureMode.A)
+    obs = AppObservation("x", (1,), (), ())
+    X = space.encode_batch([obs, obs, obs])
+    assert X.shape == (3, 2) and X.dtype == np.uint8
+    with pytest.raises(ValueError):
+        space.encode_batch([])
+
+
+def test_feature_names_prefixes(sdk):
+    space = FeatureSpace(sdk, [1], FeatureMode.API)
+    names = space.feature_names
+    assert names[0].startswith("API: ")
+    assert any(n.startswith("Permission: ") for n in names)
+    assert any(n.startswith("Intent: ") for n in names)
+    assert len(names) == space.n_features
+
+
+def test_static_only_observation(generator):
+    apk = generator.sample_app(malicious=False)
+    obs = AppObservation.static_only(apk)
+    assert obs.invoked_api_ids == ()
+    assert obs.permissions == apk.manifest.requested_permissions
+    assert set(apk.manifest.receiver_intent_actions) <= set(obs.intents)

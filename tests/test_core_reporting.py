@@ -1,0 +1,110 @@
+"""Tests for analysis-log serialization."""
+
+import json
+
+import pytest
+
+from repro.core.checker import VetVerdict
+from repro.core.features import AppObservation
+from repro.core.reporting import (
+    LogRecord,
+    read_log,
+    read_observations,
+    write_log,
+)
+
+
+def make_obs(md5="abc123"):
+    return AppObservation(
+        apk_md5=md5,
+        invoked_api_ids=(3, 7, 42),
+        permissions=("android.permission.SEND_SMS",),
+        intents=("android.provider.Telephony.SMS_RECEIVED",),
+        analysis_minutes=1.37,
+        invoked_api_counts=((3, 120), (7, 9000), (42, 5)),
+    )
+
+
+def make_verdict(md5="abc123"):
+    return VetVerdict(
+        apk_md5=md5,
+        malicious=True,
+        probability=0.91,
+        analysis_minutes=1.37,
+        fell_back=False,
+    )
+
+
+def test_record_roundtrip():
+    rec = LogRecord(make_obs(), make_verdict())
+    restored = LogRecord.from_dict(rec.to_dict())
+    assert restored.observation == rec.observation
+    assert restored.verdict == rec.verdict
+
+
+def test_record_without_verdict_roundtrip():
+    rec = LogRecord(make_obs())
+    restored = LogRecord.from_dict(rec.to_dict())
+    assert restored.verdict is None
+    assert restored.observation.invoked_api_counts == (
+        (3, 120), (7, 9000), (42, 5)
+    )
+
+
+def test_write_and_read_log(tmp_path):
+    path = tmp_path / "analysis.jsonl"
+    observations = [make_obs(f"md5-{i}") for i in range(5)]
+    verdicts = [make_verdict(f"md5-{i}") for i in range(5)]
+    n = write_log(path, observations, verdicts)
+    assert n == 5
+    records = list(read_log(path))
+    assert len(records) == 5
+    assert [r.observation.apk_md5 for r in records] == [
+        f"md5-{i}" for i in range(5)
+    ]
+    assert all(r.verdict is not None for r in records)
+
+
+def test_read_observations_convenience(tmp_path):
+    path = tmp_path / "obs.jsonl"
+    write_log(path, [make_obs("x"), make_obs("y")])
+    obs = read_observations(path)
+    assert [o.apk_md5 for o in obs] == ["x", "y"]
+
+
+def test_misaligned_verdicts_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_log(tmp_path / "bad.jsonl", [make_obs()], [])
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"v": 1, "md5": "a"\nnot json\n')
+    with pytest.raises(ValueError):
+        list(read_log(path))
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(ValueError):
+        LogRecord.from_dict({"v": 99})
+
+
+def test_log_is_valid_jsonl(tmp_path):
+    path = tmp_path / "log.jsonl"
+    write_log(path, [make_obs()], [make_verdict()])
+    for line in path.read_text().splitlines():
+        parsed = json.loads(line)
+        assert parsed["v"] == 1
+        assert parsed["verdict"]["malicious"] is True
+
+
+def test_retrain_from_log(tmp_path, sdk, corpus, study_observations):
+    """The paper's data-release use case: retrain offline from logs."""
+    from repro.core.checker import ApiChecker
+
+    path = tmp_path / "study.jsonl"
+    write_log(path, study_observations)
+    restored = read_observations(path)
+    checker = ApiChecker(sdk, seed=9)
+    checker.fit(corpus, study_observations=restored)
+    assert checker.key_api_ids.size > 50

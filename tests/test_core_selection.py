@@ -1,0 +1,105 @@
+"""Tests for the four-step key-API selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    KeyApiSelection,
+    invocation_matrix,
+    mine_set_c,
+    select_key_apis,
+)
+
+
+@pytest.fixture(scope="module")
+def selection(sdk, corpus, study_observations):
+    X = invocation_matrix(study_observations, len(sdk))
+    return select_key_apis(X, corpus.labels, sdk)
+
+
+def test_invocation_matrix_shape(sdk, study_observations):
+    X = invocation_matrix(study_observations, len(sdk))
+    assert X.shape == (len(study_observations), len(sdk))
+    assert X.dtype == np.uint8
+    assert set(np.unique(X).tolist()) <= {0, 1}
+
+
+def test_sets_p_and_s_fixed_by_registry(sdk, selection):
+    assert np.array_equal(selection.set_p, np.sort(sdk.restricted_api_ids))
+    assert np.array_equal(selection.set_s, np.sort(sdk.sensitive_api_ids))
+
+
+def test_union_covers_all_strategies(selection):
+    union = set(selection.key_api_ids.tolist())
+    assert set(selection.set_c.tolist()) <= union
+    assert set(selection.set_p.tolist()) <= union
+    assert set(selection.set_s.tolist()) <= union
+    assert len(union) == selection.n_keys
+
+
+def test_venn_counts_consistent(selection):
+    venn = selection.venn_counts()
+    assert venn["total"] == selection.n_keys
+    assert (
+        sum(v for k, v in venn.items() if k != "total") == venn["total"]
+    )
+    assert selection.overlap_count() >= 0
+
+
+def test_set_c_recovers_discriminative_pool(sdk, selection):
+    """SRC mining should mostly rediscover the latent malware-leaning APIs."""
+    mined = set(selection.set_c.tolist())
+    latent = set(sdk.discriminative_api_ids.tolist())
+    assert len(mined & latent) >= 0.5 * len(mined)
+
+
+def test_set_c_includes_frequent_negative_apis(sdk, selection):
+    """The common-ops APIs (SRC <= -0.2 but frequent) belong to Set-C."""
+    negative = [
+        i for i in selection.set_c
+        if selection.src[i] <= -0.2
+    ]
+    assert negative, "expected frequent negatively correlated APIs in Set-C"
+    common = set(sdk.common_ops_api_ids.tolist())
+    assert common & set(int(i) for i in negative)
+
+
+def test_seldom_apis_excluded_from_positive_mining(selection):
+    for api_id in selection.set_c:
+        if selection.src[api_id] >= 0.2:
+            assert selection.usage_fraction[api_id] >= 0.001
+
+
+def test_mine_set_c_empty_on_uninformative_data(rng):
+    X = (rng.random((100, 20)) < 0.5).astype(np.uint8)
+    y = (rng.random(100) < 0.5).astype(np.uint8)
+    set_c, src, usage = mine_set_c(X, y, src_threshold=0.9)
+    assert set_c.size == 0
+    assert src.shape == (20,) and usage.shape == (20,)
+
+
+def test_select_rejects_misaligned_matrix(sdk, corpus):
+    with pytest.raises(ValueError):
+        select_key_apis(
+            np.zeros((len(corpus), 3), dtype=np.uint8), corpus.labels, sdk
+        )
+
+
+def test_ranking_prefers_non_seldom_high_src(selection):
+    ranked = selection.ranked_by_correlation()
+    assert ranked.size == selection.src.size
+    assert sorted(ranked.tolist()) == list(range(selection.src.size))
+    # The first ranked API must not be a seldom-invoked one.
+    assert selection.usage_fraction[ranked[0]] >= 0.001
+    # Absolute SRC is non-increasing within the non-seldom prefix.
+    non_seldom = selection.usage_fraction[ranked] >= 0.001
+    prefix = np.abs(selection.src[ranked])[non_seldom]
+    assert np.all(np.diff(prefix) <= 1e-12)
+
+
+def test_top_correlated_subsets_nested(selection):
+    top50 = set(selection.top_correlated(50).tolist())
+    top100 = set(selection.top_correlated(100).tolist())
+    assert top50 <= top100
+    with pytest.raises(ValueError):
+        selection.top_correlated(0)

@@ -1,0 +1,85 @@
+"""Tests for behaviour archetypes and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.families import (
+    BENIGN_ARCHETYPES,
+    MALWARE_ARCHETYPES,
+    ArchetypeCatalog,
+    BehaviorArchetype,
+)
+
+
+def test_archetype_probability_validation():
+    with pytest.raises(ValueError):
+        BehaviorArchetype(name="x", malicious=False, signature_use_prob=1.5)
+    with pytest.raises(ValueError):
+        BehaviorArchetype(name="x", malicious=False, weight=0.0)
+
+
+def test_malice_flags_partition():
+    assert all(a.malicious for a in MALWARE_ARCHETYPES)
+    assert all(not a.malicious for a in BENIGN_ARCHETYPES)
+
+
+def test_paper_attack_classes_covered():
+    names = {a.name for a in MALWARE_ARCHETYPES}
+    # SMS fraud, privacy leak, ransomware, overlay, update attack,
+    # privilege escalation: all attack classes from §4.4 step 3.
+    assert {
+        "sms_fraud", "privacy_stealer", "ransomware", "overlay_attack",
+        "update_attack", "rooter",
+    } <= names
+
+
+def test_catalog_binding_deterministic(sdk):
+    a = ArchetypeCatalog(sdk, seed=9)
+    b = ArchetypeCatalog(sdk, seed=9)
+    for name in a.signatures:
+        assert np.array_equal(a.signatures[name], b.signatures[name])
+
+
+def test_signatures_contain_canonical_apis(sdk):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    sms_sig = set(catalog.signature_of("sms_fraud").tolist())
+    sms_api = sdk.by_name("android.telephony.SmsManager.sendTextMessage")
+    assert sms_api.api_id in sms_sig
+
+
+def test_signatures_overlap_between_families(sdk):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    a = set(catalog.signature_of("sms_fraud").tolist())
+    b = set(catalog.signature_of("privacy_stealer").tolist())
+    assert a & b, "family signatures must share pool APIs"
+
+
+def test_mimic_signature_is_subset_of_source(sdk):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    adware = set(catalog.signature_of("aggressive_adware").tolist())
+    adlib = set(catalog.signature_of("adlib_heavy").tolist())
+    canonical = {
+        sdk.by_name(n).api_id
+        for n in catalog.get("adlib_heavy").canonical_apis
+    }
+    assert adlib - canonical <= adware
+
+
+def test_sample_name_respects_malice(sdk, rng):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    for _ in range(50):
+        assert catalog.get(catalog.sample_name(True, rng)).malicious
+        assert not catalog.get(catalog.sample_name(False, rng)).malicious
+
+
+def test_unknown_archetype_raises(sdk):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    with pytest.raises(KeyError):
+        catalog.get("not_a_family")
+
+
+def test_lowkey_spy_has_tiny_signature(sdk):
+    catalog = ArchetypeCatalog(sdk, seed=1)
+    lowkey = catalog.signature_of("lowkey_spy")
+    sms = catalog.signature_of("sms_fraud")
+    assert lowkey.size < sms.size / 5

@@ -1,0 +1,144 @@
+"""Tests for the corpus generator and blueprints."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.behavior import AppBlueprint
+from repro.corpus.generator import PAPER_MALWARE_RATE, CorpusGenerator
+
+
+def test_paper_malware_rate_constant():
+    assert abs(PAPER_MALWARE_RATE - 38_698 / 501_971) < 1e-12
+
+
+def test_generate_validates_args(generator):
+    with pytest.raises(ValueError):
+        generator.generate(0)
+    with pytest.raises(ValueError):
+        generator.generate(10, malware_rate=1.5)
+
+
+def test_labels_match_archetype_class(generator):
+    corpus = generator.generate(150)
+    for apk in corpus:
+        assert apk.is_malicious == generator.catalog.get(apk.family).malicious
+
+
+def test_malware_rate_approximately_honored(generator):
+    corpus = generator.generate(800, malware_rate=0.2)
+    assert 0.12 < corpus.labels.mean() < 0.28
+
+
+def test_update_fraction_tracked(generator):
+    corpus = generator.generate(600, update_fraction=0.85)
+    # Early draws have no parents, so the realized rate sits below 0.85.
+    assert 0.5 < corpus.update_fraction() < 0.9
+    no_updates = CorpusGenerator(corpus.sdk, seed=123).generate(
+        100, update_fraction=0.0
+    )
+    assert no_updates.update_fraction() == 0.0
+
+
+def test_updates_share_package_and_bump_version(generator):
+    corpus = generator.generate(500, update_fraction=0.9)
+    by_package = {}
+    for apk in corpus:
+        by_package.setdefault(apk.package_name, []).append(apk)
+    multi = [apps for apps in by_package.values() if len(apps) > 1]
+    assert multi, "expected at least one updated package"
+    for apps in multi:
+        versions = [a.manifest.version_code for a in apps]
+        assert len(set(versions)) == len(versions)
+        assert len({a.md5 for a in apps}) == len(apps)
+        assert len({a.is_malicious for a in apps}) == 1
+
+
+def test_permissions_cover_code_needs(generator, sdk):
+    corpus = generator.generate(120)
+    for apk in corpus:
+        for api_id in apk.dex.direct_api_ids + apk.dex.reflection_api_ids:
+            perm = sdk.api(api_id).permission
+            if perm is not None:
+                assert apk.manifest.requests(perm), (
+                    f"{apk.package_name} calls {sdk.api(api_id).name} "
+                    f"without requesting {perm}"
+                )
+
+
+def test_reflection_hidden_apis_not_direct(generator):
+    corpus = generator.generate(300)
+    for apk in corpus:
+        assert not set(apk.dex.direct_api_ids) & set(
+            apk.dex.reflection_api_ids
+        )
+
+
+def test_malware_hides_more_than_benign(generator):
+    corpus = generator.generate(900)
+    mal_hidden = np.mean(
+        [len(a.dex.reflection_api_ids) for a in corpus if a.is_malicious]
+    )
+    ben_hidden = np.mean(
+        [len(a.dex.reflection_api_ids) for a in corpus if not a.is_malicious]
+    )
+    assert mal_hidden > ben_hidden
+
+
+def test_sample_fraction(generator, rng):
+    corpus = generator.generate(200)
+    sub = corpus.sample_fraction(0.1, rng)
+    assert len(sub) == 20
+    with pytest.raises(ValueError):
+        corpus.sample_fraction(0.0, rng)
+
+
+def test_subset_preserves_labels(generator):
+    corpus = generator.generate(100)
+    sub = corpus.subset([0, 5, 7])
+    assert len(sub) == 3
+    assert sub.labels[1] == corpus.labels[5]
+
+
+def test_blueprint_merge_on_duplicate_add():
+    bp = AppBlueprint(package_name="p", archetype="tool", malicious=False)
+    bp.add_direct_call(4, 1.0, 0.5)
+    bp.add_direct_call(4, 2.0, 0.3)
+    assert bp.direct_calls[4] == (3.0, 0.3)
+
+
+def test_blueprint_hide_and_delegate():
+    bp = AppBlueprint(package_name="p", archetype="tool", malicious=False)
+    bp.add_direct_call(4, 1.0, 0.5)
+    bp.hide_behind_reflection(4)
+    assert 4 not in bp.direct_calls and 4 in bp.reflection_apis
+    bp.add_direct_call(5, 1.0, 0.5)
+    bp.delegate_over_intent(5, "android.intent.action.SEND")
+    assert 5 not in bp.direct_calls
+    assert "android.intent.action.SEND" in bp.sent_intents
+
+
+def test_updated_copy_is_light_churn(generator, rng):
+    bp = generator.sample_blueprint("tool")
+    new = bp.updated_copy(rng)
+    assert new.version_code == bp.version_code + 1
+    assert new.package_name == bp.package_name
+    common = set(bp.direct_calls) & set(new.direct_calls)
+    assert len(common) >= 0.9 * len(bp.direct_calls)
+
+
+def test_benign_engagement_exceeds_malware(generator, sdk):
+    corpus = generator.generate(900)
+    common = set(sdk.common_ops_api_ids.tolist())
+
+    def common_ops_count(apk):
+        return len(common & set(apk.dex.direct_api_ids))
+
+    mal = np.mean([common_ops_count(a) for a in corpus if a.is_malicious])
+    ben = np.mean(
+        [
+            common_ops_count(a)
+            for a in corpus
+            if not a.is_malicious and a.family != "adlib_heavy"
+        ]
+    )
+    assert ben > mal

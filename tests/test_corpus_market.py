@@ -1,0 +1,108 @@
+"""Tests for the market model and review pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.market import (
+    AntivirusEngine,
+    MarketStream,
+    ReviewPipeline,
+    TMarket,
+)
+
+
+def test_engine_rejects_paper_violating_fp_rate():
+    with pytest.raises(ValueError):
+        AntivirusEngine("bad", fp_rate=0.08)
+
+
+def test_engine_learns_fingerprints(generator, rng):
+    engine = AntivirusEngine("t", fp_rate=0.0, zero_day_recall=0.0)
+    apk = generator.sample_app(malicious=True)
+    assert not engine.flags(apk, rng)
+    engine.learn(apk)
+    assert engine.flags(apk, rng)
+
+
+def test_review_labels_are_near_ground_truth(generator):
+    corpus = generator.generate(400)
+    pipeline = ReviewPipeline(seed=1)
+    labels = pipeline.label_corpus(corpus)
+    # The paper bounds mislabels by (1 - 0.95)^4 plus tiny manual error.
+    assert (labels != corpus.labels).mean() < 0.01
+
+
+def test_review_requires_four_engines():
+    with pytest.raises(ValueError):
+        ReviewPipeline(engines=[AntivirusEngine("only", fp_rate=0.01)])
+
+
+def test_review_verdict_provenance(generator):
+    pipeline = ReviewPipeline(seed=2)
+    apk = generator.sample_app(malicious=True)
+    verdict = pipeline.review(apk)
+    assert verdict.provenance in (
+        "antivirus-consensus", "expert-inspection", "manual"
+    )
+    assert verdict.apk_md5 == apk.md5
+
+
+def test_market_publishes_and_quarantines(generator):
+    market = TMarket(generator, apps_per_day=50)
+    day = market.next_day_submissions()
+    assert len(day) == 50
+    labels = market.ingest(day)
+    assert len(market.published) + len(market.quarantined) == 50
+    assert len(market.quarantined) == labels.sum()
+
+
+def test_market_day_counter_advances(generator):
+    market = TMarket(generator, apps_per_day=10)
+    d1 = market.next_day_submissions()
+    d2 = market.next_day_submissions()
+    assert {a.submitted_day for a in d1} == {0}
+    assert {a.submitted_day for a in d2} == {1}
+
+
+def test_market_rejects_bad_config(generator):
+    with pytest.raises(ValueError):
+        TMarket(generator, apps_per_day=0)
+
+
+def test_stream_months_advance_and_labels_align(sdk):
+    stream = MarketStream(sdk, apps_per_month=80, seed=5)
+    b1 = stream.next_month()
+    b2 = stream.next_month()
+    assert (b1.month_index, b2.month_index) == (1, 2)
+    assert len(b1.market_labels) == len(b1.corpus) == 80
+    assert (b1.market_labels == b1.corpus.labels).mean() > 0.98
+
+
+def test_stream_sdk_growth(sdk):
+    stream = MarketStream(
+        sdk, apps_per_month=40, seed=6, sdk_update_every=2, sdk_growth=25
+    )
+    sizes = [stream.next_month().sdk for _ in range(5)]
+    assert len(sizes[0]) == len(sdk)
+    assert len(sizes[-1]) > len(sdk)
+    # Growth happens every second month.
+    assert len(sizes[2]) == len(sdk) + 25
+
+
+def test_stream_new_apis_get_adopted(sdk):
+    stream = MarketStream(
+        sdk, apps_per_month=60, seed=7, sdk_update_every=1, sdk_growth=60
+    )
+    for _ in range(4):
+        batch = stream.next_month()
+    new_ids = set(range(len(sdk), len(stream.sdk)))
+    used_new = set()
+    for apk in batch.corpus:
+        used_new |= new_ids & set(apk.dex.direct_api_ids)
+    assert used_new, "new SDK APIs should appear in new submissions"
+
+
+def test_stream_rejects_bad_size(sdk):
+    with pytest.raises(ValueError):
+        MarketStream(sdk, apps_per_month=0)

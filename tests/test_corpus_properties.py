@@ -1,0 +1,115 @@
+"""Property-based tests over the corpus generator (hypothesis).
+
+These run the generator with arbitrary seeds and small sizes and check
+invariants that must hold for *every* realization — the contracts the
+rest of the pipeline relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.generator import CorpusGenerator
+
+# One shared small SDK: generating SDKs per example would dominate time.
+_SDK = None
+
+
+def _sdk():
+    global _SDK
+    if _SDK is None:
+        from repro.android.sdk import AndroidSdk, SdkSpec
+
+        _SDK = AndroidSdk.generate(SdkSpec(n_apis=800, seed=123))
+    return _SDK
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_every_app_is_well_formed(seed):
+    gen = CorpusGenerator(_sdk(), seed=seed)
+    corpus = gen.generate(30)
+    sdk = _sdk()
+    for apk in corpus:
+        # Call sites reference real APIs, once each.
+        ids = apk.dex.direct_api_ids
+        assert all(0 <= i < len(sdk) for i in ids)
+        assert len(set(ids)) == len(ids)
+        # Reflection-hidden APIs are disjoint from direct ones.
+        assert not set(ids) & set(apk.dex.reflection_api_ids)
+        # Permission closure: code needs are always requested.
+        for api_id in ids + apk.dex.reflection_api_ids:
+            perm = sdk.api(api_id).permission
+            if perm is not None:
+                assert apk.manifest.requests(perm)
+        # At least one activity, and the entry activity is referenced.
+        assert apk.manifest.declared_activity_count >= 1
+        assert apk.manifest.referenced_activities
+
+
+@given(seed=st.integers(0, 10_000), rate=st.floats(0.05, 0.5))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_malware_rate_is_respected_in_expectation(seed, rate):
+    gen = CorpusGenerator(_sdk(), seed=seed)
+    corpus = gen.generate(300, malware_rate=rate)
+    observed = corpus.labels.mean()
+    # Binomial(300, rate): allow 4 sigma.
+    sigma = (rate * (1 - rate) / 300) ** 0.5
+    assert abs(observed - rate) < 4 * sigma + 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_md5_uniqueness_within_corpus(seed):
+    gen = CorpusGenerator(_sdk(), seed=seed)
+    corpus = gen.generate(60)
+    md5s = [a.md5 for a in corpus]
+    assert len(set(md5s)) == len(md5s)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_update_parents_precede_children(seed):
+    gen = CorpusGenerator(_sdk(), seed=seed)
+    corpus = gen.generate(120, update_fraction=0.8)
+    seen = set()
+    for apk in corpus:
+        if apk.parent_md5 is not None and apk.parent_md5 in {
+            a.md5 for a in corpus
+        }:
+            assert apk.parent_md5 in seen, (
+                "an update appeared before its parent"
+            )
+        seen.add(apk.md5)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_same_seed_same_corpus(seed):
+    a = CorpusGenerator(_sdk(), seed=seed).generate(25)
+    b = CorpusGenerator(_sdk(), seed=seed).generate(25)
+    assert [x.md5 for x in a] == [x.md5 for x in b]
+    assert np.array_equal(a.labels, b.labels)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_blueprint_update_identity_chain(seed):
+    gen = CorpusGenerator(_sdk(), seed=seed)
+    bp = gen.sample_blueprint("tool")
+    rng = np.random.default_rng(seed)
+    current = bp
+    versions = []
+    for _ in range(4):
+        current = current.updated_copy(rng)
+        versions.append(current.version_code)
+    assert versions == [bp.version_code + i for i in range(1, 5)]
+    assert current.package_name == bp.package_name
+    assert current.malicious == bp.malicious

@@ -1,0 +1,77 @@
+"""Tests for the adb session facade."""
+
+import pytest
+
+from repro.emulator.adb import AdbError, AdbSession
+from repro.emulator.hooks import HookEngine
+
+
+@pytest.fixture()
+def session(sdk):
+    return AdbSession(sdk, seed=3)
+
+
+def test_full_recipe_records_expected_commands(session, generator):
+    apk = generator.sample_app(malicious=False)
+    result = session.analyze(apk)
+    commands = [c.command for c in session.command_log]
+    assert commands == [
+        "install", "shell monkey", "pull", "uninstall", "shell clear",
+    ]
+    assert result.total_invocations > 0
+    assert session.total_seconds > 0
+
+
+def test_ordering_enforced(session, generator):
+    apk = generator.sample_app(malicious=False)
+    with pytest.raises(AdbError):
+        session.run_monkey()
+    with pytest.raises(AdbError):
+        session.pull_logs()
+    with pytest.raises(AdbError):
+        session.uninstall()
+    session.install(apk)
+    with pytest.raises(AdbError):
+        session.install(apk)  # double install
+
+
+def test_uninstall_resets_state(session, generator):
+    first = generator.sample_app(malicious=False)
+    second = generator.sample_app(malicious=False)
+    session.install(first)
+    session.uninstall()
+    session.install(second)  # fine after uninstall
+    session.run_monkey()
+    assert session.pull_logs().apk_md5 == second.md5
+
+
+def test_clear_data_always_allowed(session):
+    session.clear_data()
+    assert session.command_log[-1].command == "shell clear"
+
+
+def test_hooked_session_logs_tracked_apis(sdk, generator):
+    keys = sdk.restricted_api_ids
+    session = AdbSession(sdk, hooks=HookEngine(sdk, keys), seed=4)
+    apk = generator.sample_app(archetype="sms_fraud")
+    result = session.analyze(apk)
+    assert set(result.hooked_api_ids) <= set(keys.tolist())
+
+
+def test_session_reusable_across_apps(session, generator):
+    for _ in range(3):
+        session.analyze(generator.sample_app(malicious=False))
+    installs = [c for c in session.command_log if c.command == "install"]
+    assert len(installs) == 3
+
+
+def test_install_cost_scales_with_size(session, generator):
+    small = generator.sample_app(archetype="news")
+    session.install(small)
+    cost_small = session.command_log[-1].seconds
+    session.uninstall()
+    big = generator.sample_app(archetype="game")
+    session.install(big)
+    cost_big = session.command_log[-1].seconds
+    if big.size_mb > small.size_mb:
+        assert cost_big > cost_small

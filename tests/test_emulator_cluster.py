@@ -1,0 +1,81 @@
+"""Tests for the analysis server cluster scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.cluster import AnalysisServer, ServerCluster
+
+
+def test_server_reserves_service_cores():
+    server = AnalysisServer()
+    assert server.cores == 20 and server.emulator_slots == 16
+    assert server.service_cores == 4
+
+
+def test_server_validation():
+    with pytest.raises(ValueError):
+        AnalysisServer(cores=16, emulator_slots=16)
+    with pytest.raises(ValueError):
+        AnalysisServer(cores=4, emulator_slots=0)
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        ServerCluster(n_servers=0)
+
+
+def test_schedule_conservation():
+    cluster = ServerCluster(n_servers=1)
+    durations = [1.0, 2.0, 3.0, 4.0]
+    report = cluster.schedule(durations)
+    assert len(report.tasks) == 4
+    assert report.slot_busy_minutes.sum() == pytest.approx(sum(durations))
+
+
+def test_makespan_bounds():
+    cluster = ServerCluster(n_servers=1)
+    rng = np.random.default_rng(0)
+    durations = rng.uniform(0.5, 3.0, size=200)
+    report = cluster.schedule(durations)
+    slots = cluster.total_slots
+    lower = max(durations.max(), durations.sum() / slots)
+    assert report.makespan_minutes >= lower - 1e-9
+    assert report.makespan_minutes <= durations.sum()
+
+
+def test_no_slot_overlap():
+    cluster = ServerCluster(n_servers=2)
+    report = cluster.schedule(np.full(100, 1.7))
+    by_slot = {}
+    for t in report.tasks:
+        by_slot.setdefault((t.server, t.slot), []).append(t)
+    for tasks in by_slot.values():
+        tasks.sort(key=lambda t: t.start_minute)
+        for prev, nxt in zip(tasks, tasks[1:]):
+            assert nxt.start_minute >= prev.end_minute - 1e-9
+
+
+def test_single_server_handles_10k_apps_per_day():
+    # §5.2: one 16-slot server vets ~10K apps/day at 1.92 min/app
+    # end-to-end.
+    cluster = ServerCluster(n_servers=1)
+    rng = np.random.default_rng(1)
+    durations = rng.lognormal(np.log(1.8), 0.4, size=2000)
+    report = cluster.schedule(durations)
+    assert report.throughput_per_day() > 10_000
+
+
+def test_empty_schedule():
+    report = ServerCluster().schedule([])
+    assert report.makespan_minutes == 0.0
+    assert report.utilization == 0.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        ServerCluster().schedule([-1.0])
+
+
+def test_utilization_upper_bound():
+    report = ServerCluster().schedule(np.full(64, 2.0))
+    assert 0 < report.utilization <= 1.0

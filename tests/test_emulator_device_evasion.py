@@ -1,0 +1,67 @@
+"""Tests for device environments and emulator-detection evasion."""
+
+import pytest
+
+from repro.android.dex import EmulatorProbe
+from repro.emulator.device import DeviceEnvironment
+from repro.emulator.evasion import (
+    app_detects_emulator,
+    probe_succeeds,
+    successful_probes,
+)
+
+
+def test_presets():
+    real = DeviceEnvironment.real_device()
+    stock = DeviceEnvironment.stock_emulator()
+    hardened = DeviceEnvironment.hardened_emulator()
+    assert real.is_real_device and real.live_sensors
+    assert not stock.identifiers_masked
+    assert hardened.identifiers_masked and not hardened.live_sensors
+
+
+def test_every_probe_succeeds_on_stock():
+    stock = DeviceEnvironment.stock_emulator()
+    for probe in EmulatorProbe:
+        assert probe_succeeds(probe, stock)
+
+
+def test_no_probe_succeeds_on_real_device():
+    real = DeviceEnvironment.real_device()
+    for probe in EmulatorProbe:
+        assert not probe_succeeds(probe, real)
+
+
+def test_no_probe_succeeds_on_hardened():
+    hardened = DeviceEnvironment.hardened_emulator()
+    for probe in EmulatorProbe:
+        assert not probe_succeeds(probe, hardened)
+
+
+def test_partial_hardening_leaves_channel_open():
+    env = DeviceEnvironment.hardened_emulator().with_flag(
+        sensors_replayed=False
+    )
+    assert probe_succeeds(EmulatorProbe.SENSOR_LIVENESS, env)
+    assert not probe_succeeds(EmulatorProbe.BUILD_PROPS, env)
+
+
+def test_successful_probes_lists_only_open_channels():
+    env = DeviceEnvironment.hardened_emulator().with_flag(
+        xposed_obfuscated=False
+    )
+    probes = (EmulatorProbe.XPOSED_PRESENCE, EmulatorProbe.BUILD_PROPS)
+    assert successful_probes(probes, env) == [EmulatorProbe.XPOSED_PRESENCE]
+
+
+def test_any_single_success_triggers_detection():
+    env = DeviceEnvironment.stock_emulator().with_flag(
+        identifiers_masked=True
+    )
+    assert app_detects_emulator(
+        (EmulatorProbe.DEFAULT_IDENTIFIERS, EmulatorProbe.BUILD_PROPS), env
+    )
+    assert not app_detects_emulator(
+        (EmulatorProbe.DEFAULT_IDENTIFIERS,), env
+    )
+    assert not app_detects_emulator((), env)

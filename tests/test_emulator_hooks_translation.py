@@ -1,0 +1,81 @@
+"""Tests for the hook engine and binary translation model."""
+
+import numpy as np
+import pytest
+
+from repro.android.dex import DexCode, NativeIsa, NativeLib
+from repro.emulator.hooks import HOOK_COST_SECONDS, HookEngine
+from repro.emulator.translation import BinaryTranslator, TranslationError
+
+
+def test_hook_cost_calibration():
+    # (53.6 - 2.1) minutes over 42.3M invocations (Figs. 2 and 3).
+    assert HOOK_COST_SECONDS == pytest.approx((53.6 - 2.1) * 60 / 42.3e6)
+
+
+def test_hook_engine_filters_untracked(sdk, rng):
+    hooks = HookEngine(sdk, [1, 2, 3])
+    records, overhead = hooks.intercept({1: 10, 5: 100, 3: 1}, rng)
+    assert sorted(r.api_id for r in records) == [1, 3]
+    assert overhead == pytest.approx(11 * HOOK_COST_SECONDS)
+
+
+def test_hook_engine_empty_tracking(sdk, rng):
+    hooks = HookEngine(sdk, [])
+    records, overhead = hooks.intercept({1: 10}, rng)
+    assert records == [] and overhead == 0.0
+
+
+def test_hook_engine_rejects_out_of_range(sdk):
+    with pytest.raises(ValueError):
+        HookEngine(sdk, [len(sdk)])
+
+
+def test_hook_records_carry_names_and_params(sdk, rng):
+    hooks = HookEngine(sdk, [0])
+    records, _ = hooks.intercept({0: 3}, rng)
+    assert records[0].api_name == sdk.api(0).name
+    assert records[0].count == 3
+    assert records[0].sample_params
+
+
+def test_hook_dedups_tracked_ids(sdk):
+    hooks = HookEngine(sdk, [4, 4, 4, 2])
+    assert hooks.n_tracked == 2
+    assert hooks.is_tracked(4) and not hooks.is_tracked(3)
+
+
+def test_translator_passthrough_without_native():
+    report = BinaryTranslator().translate(DexCode())
+    assert report.translated_mb == 0.0
+    assert report.overhead_fraction == 0.0
+
+
+def test_translator_overhead_scales_and_caps():
+    small = DexCode(native_libs=(NativeLib("a.so", NativeIsa.ARM, 1.0),))
+    huge = DexCode(native_libs=(NativeLib("b.so", NativeIsa.ARM, 500.0),))
+    tr = BinaryTranslator()
+    assert 0 < tr.translate(small).overhead_fraction < tr.MAX_OVERHEAD_FRACTION
+    assert tr.translate(huge).overhead_fraction == tr.MAX_OVERHEAD_FRACTION
+
+
+def test_translator_rejects_incompatible():
+    dex = DexCode(
+        native_libs=(
+            NativeLib("bad.so", NativeIsa.ARM, 2.0, houdini_compatible=False),
+        )
+    )
+    tr = BinaryTranslator()
+    assert not tr.can_translate(dex)
+    with pytest.raises(TranslationError):
+        tr.translate(dex)
+
+
+def test_translator_ignores_x86_libs():
+    dex = DexCode(
+        native_libs=(
+            NativeLib("x.so", NativeIsa.X86, 9.0, houdini_compatible=False),
+        )
+    )
+    report = BinaryTranslator().translate(dex)
+    assert report.translated_mb == 0.0

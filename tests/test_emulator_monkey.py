@@ -1,0 +1,69 @@
+"""Tests for the Monkey exerciser and the RAC curve."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.monkey import (
+    DEFAULT_MONKEY_EVENTS,
+    MonkeyExerciser,
+    SECONDS_PER_EVENT,
+    rac_for_events,
+)
+
+
+def test_rac_curve_monotone_nondecreasing():
+    events = np.linspace(0, 150_000, 200)
+    rac = rac_for_events(events)
+    assert np.all(np.diff(rac) >= -1e-12)
+
+
+def test_rac_paper_anchor_points():
+    # Fig. 1: 76.5% at 5K events, ~86% at 100K.
+    assert abs(rac_for_events(5000) - 0.765) < 0.01
+    assert abs(rac_for_events(100_000) - 0.86) < 0.01
+    # "10K events merely increases the RAC by ~1.5%".
+    assert rac_for_events(10_000) - rac_for_events(5000) < 0.03
+
+
+def test_rac_rejects_negative():
+    with pytest.raises(ValueError):
+        rac_for_events(-1)
+
+
+def test_default_operating_point_timing():
+    # 5K events take 126 s on the reference emulator (§4.2).
+    assert abs(DEFAULT_MONKEY_EVENTS * SECONDS_PER_EVENT - 126.0) < 1e-9
+
+
+def test_exerciser_validation():
+    with pytest.raises(ValueError):
+        MonkeyExerciser(n_events=0)
+    with pytest.raises(ValueError):
+        MonkeyExerciser(pct_touch=1.5)
+    with pytest.raises(ValueError):
+        MonkeyExerciser(throttle_ms=-1)
+
+
+def test_humanized_flag():
+    assert MonkeyExerciser(throttle_ms=500, pct_touch=0.65).humanized
+    assert not MonkeyExerciser(throttle_ms=0, pct_touch=0.65).humanized
+    assert not MonkeyExerciser(throttle_ms=500, pct_touch=0.95).humanized
+
+
+def test_exercise_reports_consistent_coverage(generator, rng):
+    apk = generator.sample_app(malicious=False)
+    monkey = MonkeyExerciser(n_events=5000, seed=1)
+    run = monkey.exercise(apk, rng)
+    assert 1 <= run.visited_activities <= run.referenced_activities
+    assert 0 < run.achieved_rac <= 1.0
+    assert run.ui_seconds == pytest.approx(126.0)
+
+
+def test_more_events_more_coverage_on_average(generator):
+    apps = [generator.sample_app(malicious=False) for _ in range(40)]
+    short = MonkeyExerciser(n_events=1000, seed=2)
+    long = MonkeyExerciser(n_events=100_000, seed=2)
+    rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+    rac_short = np.mean([short.exercise(a, rng_a).achieved_rac for a in apps])
+    rac_long = np.mean([long.exercise(a, rng_b).achieved_rac for a in apps])
+    assert rac_long > rac_short

@@ -1,0 +1,84 @@
+"""Tests for sensor trace synthesis and liveness heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.sensors import (
+    GRAVITY,
+    SAMPLE_RATE_HZ,
+    SensorTrace,
+    SensorTraceLibrary,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return SensorTraceLibrary(n_devices=4, seed=1)
+
+
+def test_trace_is_deterministic(library):
+    a = library.trace(device=1, sensor="accelerometer")
+    b = library.trace(device=1, sensor="accelerometer")
+    assert np.array_equal(a.samples, b.samples)
+    assert np.array_equal(a.timestamps, b.timestamps)
+
+
+def test_devices_differ(library):
+    a = library.trace(device=0)
+    b = library.trace(device=1)
+    assert not np.array_equal(a.samples, b.samples)
+
+
+def test_replayed_trace_looks_alive(library):
+    for sensor in ("accelerometer", "gyroscope"):
+        trace = library.trace(device=0, sensor=sensor)
+        assert trace.looks_alive(), sensor
+
+
+def test_flat_trace_fails_liveness(library):
+    flat = library.flat_trace("accelerometer")
+    assert not flat.looks_alive()
+    assert not library.flat_trace("gyroscope").looks_alive()
+
+
+def test_accelerometer_carries_gravity(library):
+    trace = library.trace(device=2, sensor="accelerometer")
+    magnitude = np.linalg.norm(trace.samples.mean(axis=0))
+    assert 0.7 * GRAVITY < magnitude < 1.3 * GRAVITY
+
+
+def test_sampling_rate_and_jitter(library):
+    trace = library.trace(device=0, duration_s=5.0)
+    periods = np.diff(trace.timestamps)
+    assert abs(periods.mean() - 1.0 / SAMPLE_RATE_HZ) < 0.002
+    # Real sampling jitters; a perfectly regular clock is suspicious.
+    assert periods.std() > 0
+
+
+def test_duration_approximately_honored(library):
+    trace = library.trace(device=0, duration_s=8.0)
+    assert 6.0 < trace.duration_seconds < 10.0
+
+
+def test_validation():
+    lib = SensorTraceLibrary(n_devices=2)
+    with pytest.raises(ValueError):
+        lib.trace(device=5)
+    with pytest.raises(ValueError):
+        lib.trace(sensor="barometer")
+    with pytest.raises(ValueError):
+        lib.trace(duration_s=0)
+    with pytest.raises(ValueError):
+        SensorTraceLibrary(n_devices=0)
+
+
+def test_trace_shape_validation():
+    t = np.arange(1.0, 11.0)
+    with pytest.raises(ValueError):
+        SensorTrace("accelerometer", t, np.zeros((10, 2)))
+    with pytest.raises(ValueError):
+        SensorTrace("accelerometer", t[:5], np.zeros((10, 3)))
+    bad_time = t.copy()
+    bad_time[3] = bad_time[2]
+    with pytest.raises(ValueError):
+        SensorTrace("accelerometer", bad_time, np.zeros((10, 3)))

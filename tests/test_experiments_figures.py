@@ -1,0 +1,82 @@
+"""Tests for the terminal figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    ascii_cdf,
+    ascii_chart,
+    print_figure,
+    sparkline,
+)
+
+
+def test_sparkline_monotone_series():
+    line = sparkline([1, 2, 3, 4, 5])
+    assert len(line) == 5
+    # Intensities must be non-decreasing for a rising series.
+    order = " .:-=+*#%@"
+    levels = [order.index(c) for c in line]
+    assert levels == sorted(levels)
+
+
+def test_sparkline_constant_series():
+    assert sparkline([3, 3, 3]) == "   "
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_chart_contains_markers_and_axis():
+    chart = ascii_chart([1, 2, 3, 4], [2.0, 4.0, 1.0, 3.0])
+    assert "o" in chart
+    assert "+" in chart and "|" in chart
+    lines = chart.splitlines()
+    assert len(lines) >= 10
+
+
+def test_chart_extremes_labeled():
+    chart = ascii_chart([0, 10], [1.5, 9.5], height=5)
+    assert "9.50" in chart
+    assert "1.50" in chart
+    assert "0" in chart and "10" in chart
+
+
+def test_chart_log_x():
+    chart = ascii_chart(
+        [10, 100, 1000, 10000], [1, 2, 3, 4], log_x=True
+    )
+    assert "o" in chart
+    with pytest.raises(ValueError):
+        ascii_chart([0, 10], [1, 2], log_x=True)
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([1], [1])
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [1, 2], width=2)
+
+
+def test_cdf_is_monotone_visual():
+    rng = np.random.default_rng(0)
+    chart = ascii_cdf(rng.lognormal(0, 0.5, size=200))
+    lines = chart.splitlines()
+    # Topmost body row must contain the right-hand end of the curve.
+    assert "o" in lines[0] or "·" in lines[0]
+    with pytest.raises(ValueError):
+        ascii_cdf([1.0])
+
+
+def test_print_figure(capsys):
+    print_figure("Fig X", "body")
+    out = capsys.readouterr().out
+    assert "--- Fig X ---" in out
+    assert "body" in out
+
+
+def test_chart_is_pure_ascii_or_middle_dot():
+    chart = ascii_chart([1, 2, 3], [1, 5, 2])
+    allowed = set(chr(c) for c in range(32, 127)) | {"·"}
+    assert set(chart) - {"\n"} <= allowed

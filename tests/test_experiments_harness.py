@@ -1,0 +1,85 @@
+"""Tests for the experiment harness and scale profiles."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    BENCH,
+    LARGE,
+    SMOKE,
+    ScaleProfile,
+    profile_from_env,
+)
+from repro.experiments.harness import (
+    World,
+    build_world,
+    cdf_stats,
+    clear_world_cache,
+    print_table,
+)
+
+
+def test_profiles_are_ordered():
+    assert SMOKE.n_train < BENCH.n_train < LARGE.n_train
+    assert SMOKE.n_apis < BENCH.n_apis < LARGE.n_apis
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ScaleProfile(name="bad", n_apis=0, n_train=10, n_test=10)
+
+
+def test_profile_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert profile_from_env() is SMOKE
+    monkeypatch.setenv("REPRO_SCALE", "nope")
+    with pytest.raises(ValueError):
+        profile_from_env()
+    monkeypatch.delenv("REPRO_SCALE")
+    assert profile_from_env() is BENCH
+
+
+def test_scale_note_mentions_paper_scale():
+    assert "50K" in BENCH.scale_note and "500K" in BENCH.scale_note
+
+
+def test_build_world_memoized():
+    tiny = ScaleProfile(name="tiny", n_apis=800, n_train=120, n_test=60,
+                        rf_trees=10, seed=3)
+    a = build_world(tiny)
+    b = build_world(tiny)
+    assert a is b
+    assert len(a.train) == 120 and len(a.test) == 60
+    clear_world_cache()
+    c = build_world(tiny)
+    assert c is not a
+
+
+def test_world_lazy_observations_cached():
+    tiny = ScaleProfile(name="tiny2", n_apis=800, n_train=80, n_test=40,
+                        rf_trees=10, seed=4)
+    world = build_world(tiny)
+    obs1 = world.train_observations
+    obs2 = world.train_observations
+    assert obs1 is obs2
+    assert len(obs1) == 80
+    X = world.train_api_matrix
+    assert X.shape == (80, 800)
+    sel = world.selection
+    assert sel.n_keys > 0
+    clear_world_cache()
+
+
+def test_cdf_stats_values():
+    stats = cdf_stats([1.0, 2.0, 3.0, 10.0])
+    assert stats["min"] == 1.0 and stats["max"] == 10.0
+    assert stats["mean"] == 4.0 and stats["median"] == 2.5
+    with pytest.raises(ValueError):
+        cdf_stats([])
+
+
+def test_print_table_renders(capsys):
+    print_table("T", ["a", "bb"], [[1, 2], [30, 4]])
+    out = capsys.readouterr().out
+    assert "=== T ===" in out
+    assert "30" in out

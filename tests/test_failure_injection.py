@@ -1,0 +1,124 @@
+"""Failure-injection tests: the reliability plumbing under stress.
+
+The paper's production system must analyze *every* submitted app
+(§5.1): incompatible apps fall back, crashes are detected and retried,
+and the operator notices nothing.  These tests inject faults at each
+layer and check the system degrades the way the paper describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DynamicAnalysisEngine
+from repro.emulator.backends import (
+    EmulatorCrash,
+    GoogleEmulator,
+    IncompatibleAppError,
+    LightweightEmulator,
+)
+
+
+class FlakyBackend(GoogleEmulator):
+    """Crashes the first ``n_failures`` attempts, then succeeds."""
+
+    def __init__(self, n_failures):
+        self.n_failures = n_failures
+        self.attempts = 0
+
+    def crash_probability(self, apk):
+        self.attempts += 1
+        return 1.0 if self.attempts <= self.n_failures else 0.0
+
+
+class RefusingBackend(LightweightEmulator):
+    """Rejects every app (simulates total Android-x86 incompatibility)."""
+
+    def compatible(self, apk):
+        return False
+
+
+def test_crash_then_success_charges_wasted_time(sdk, generator):
+    backend = FlakyBackend(n_failures=1)
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=backend, fallback=None, max_retries=2, seed=1
+    )
+    analysis = engine.analyze(generator.sample_app(malicious=False))
+    assert analysis.attempts == 2
+    assert analysis.total_minutes > analysis.result.analysis_minutes
+
+
+def test_primary_crashloop_falls_back(sdk, generator):
+    primary = FlakyBackend(n_failures=99)
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=primary, fallback=GoogleEmulator(),
+        max_retries=1, seed=2,
+    )
+    analysis = engine.analyze(generator.sample_app(malicious=False))
+    assert analysis.fell_back
+    assert analysis.result.backend_name == "google-emulator"
+    # 2 failed primary attempts + 1 fallback success.
+    assert analysis.attempts == 3
+
+
+def test_every_app_analyzed_despite_refusing_primary(sdk, generator):
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=RefusingBackend(), fallback=GoogleEmulator(),
+        seed=3,
+    )
+    apps = [generator.sample_app(malicious=False) for _ in range(10)]
+    analyses = engine.analyze_corpus(apps)
+    assert len(analyses) == 10
+    assert all(a.fell_back for a in analyses)
+    assert engine.stats["fallbacks"] == 10
+
+
+def test_refusing_primary_without_fallback_raises(sdk, generator):
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=RefusingBackend(), fallback=None, seed=4
+    )
+    with pytest.raises(RuntimeError, match="all backends failed"):
+        engine.analyze(generator.sample_app(malicious=False))
+
+
+def test_crash_stats_accumulate(sdk, generator):
+    backend = FlakyBackend(n_failures=3)
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=backend, fallback=GoogleEmulator(),
+        max_retries=2, seed=5,
+    )
+    engine.analyze(generator.sample_app(malicious=False))
+    assert engine.stats["crashes"] == 3
+
+
+def test_checker_vet_survives_flaky_production_engine(
+    fitted_checker, generator
+):
+    """Swap a flaky primary into a fitted checker; vetting still works."""
+    engine = fitted_checker._prod_engine
+    original = engine.primary
+    try:
+        engine.primary = FlakyBackend(n_failures=1)
+        verdict = fitted_checker.vet(generator.sample_app(malicious=True))
+        assert verdict.analysis_minutes > 0
+    finally:
+        engine.primary = original
+
+
+def test_corrupt_observation_rejected_by_encoder(sdk, fitted_checker):
+    """Feature space ignores out-of-universe identifiers rather than
+    exploding — logs from newer SDKs must not crash old models."""
+    from repro.core.features import AppObservation
+
+    obs = AppObservation(
+        apk_md5="corrupt",
+        invoked_api_ids=(10**9,),
+        permissions=("future.permission.UNKNOWN",),
+        intents=("future.intent.UNKNOWN",),
+    )
+    vec = fitted_checker.feature_space.encode(obs)
+    assert vec.sum() == 0
+
+
+def test_emulator_crash_is_runtime_error_subclass():
+    assert issubclass(EmulatorCrash, RuntimeError)
+    assert issubclass(IncompatibleAppError, RuntimeError)

@@ -1,0 +1,129 @@
+"""Tests for the §6 future-work extensions.
+
+The paper sketches two improvements: richer feature encodings that
+retain invocation-frequency information (histogram instead of bit
+vector) and smarter UI exploration (fuzzing instead of Monkey).  Both
+are implemented here as opt-in variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checker import ApiChecker
+from repro.core.features import (
+    HISTOGRAM_BUCKETS,
+    AppObservation,
+    FeatureMode,
+    FeatureSpace,
+)
+from repro.emulator.monkey import FuzzingExerciser, MonkeyExerciser
+
+
+# -- histogram encoding ---------------------------------------------------
+
+
+def test_histogram_space_is_wider(sdk):
+    binary = FeatureSpace(sdk, [1, 2, 3], FeatureMode.A)
+    hist = FeatureSpace(sdk, [1, 2, 3], FeatureMode.A, encoding="histogram")
+    assert hist.n_features == binary.n_features * (
+        1 + len(HISTOGRAM_BUCKETS)
+    )
+    assert len(hist.feature_names) == hist.n_features
+    assert any(">=" in n for n in hist.feature_names)
+
+
+def test_unknown_encoding_rejected(sdk):
+    with pytest.raises(ValueError):
+        FeatureSpace(sdk, [1], FeatureMode.A, encoding="tfidf")
+
+
+def test_histogram_buckets_threshold_counts(sdk):
+    space = FeatureSpace(sdk, [4], FeatureMode.A, encoding="histogram")
+    low, high = HISTOGRAM_BUCKETS
+
+    def vec_for(count):
+        obs = AppObservation(
+            apk_md5="x",
+            invoked_api_ids=(4,),
+            permissions=(),
+            intents=(),
+            invoked_api_counts=((4, count),),
+        )
+        return space.encode(obs)
+
+    assert vec_for(1).tolist() == [1, 0, 0]
+    assert vec_for(low).tolist() == [1, 1, 0]
+    assert vec_for(high).tolist() == [1, 1, 1]
+
+
+def test_histogram_kind_of_column(sdk):
+    space = FeatureSpace(sdk, [4, 9], FeatureMode.API, encoding="histogram")
+    for col in range(2 * (1 + len(HISTOGRAM_BUCKETS))):
+        assert space.kind_of_column(col) == "api"
+    assert space.kind_of_column(6) == "permission"
+
+
+def test_histogram_checker_end_to_end(sdk, corpus, study_observations):
+    checker = ApiChecker(
+        sdk, feature_encoding="histogram", seed=31
+    )
+    checker.fit(corpus, study_observations=list(study_observations))
+    report = checker.evaluate(corpus.subset(range(80)))
+    assert report.f1 > 0.6
+    assert checker.feature_space.encoding == "histogram"
+
+
+def test_engine_populates_counts(sdk, corpus):
+    from repro.core.engine import DynamicAnalysisEngine
+
+    engine = DynamicAnalysisEngine(sdk, sdk.restricted_api_ids, seed=32)
+    obs = engine.analyze(corpus[0]).observation
+    assert set(a for a, _ in obs.invoked_api_counts) == set(
+        obs.invoked_api_ids
+    )
+    assert all(c > 0 for _, c in obs.invoked_api_counts)
+
+
+# -- fuzzing exerciser ----------------------------------------------------
+
+
+def test_fuzzing_beats_monkey_coverage(generator):
+    apps = [generator.sample_app(malicious=False) for _ in range(40)]
+    monkey = MonkeyExerciser(n_events=5000, seed=3)
+    fuzz = FuzzingExerciser(n_events=5000, seed=3)
+    rng_a, rng_b = np.random.default_rng(4), np.random.default_rng(4)
+    rac_monkey = np.mean(
+        [monkey.exercise(a, rng_a).achieved_rac for a in apps]
+    )
+    rac_fuzz = np.mean([fuzz.exercise(a, rng_b).achieved_rac for a in apps])
+    assert rac_fuzz > rac_monkey + 0.02
+
+
+def test_fuzzing_costs_more_per_event(generator, rng):
+    apk = generator.sample_app(malicious=False)
+    monkey_run = MonkeyExerciser(n_events=5000, seed=5).exercise(apk, rng)
+    fuzz_run = FuzzingExerciser(n_events=5000, seed=5).exercise(apk, rng)
+    assert fuzz_run.ui_seconds > monkey_run.ui_seconds
+
+
+def test_fuzzing_reaches_monkey_ceiling_with_fewer_events(generator):
+    apps = [generator.sample_app(malicious=False) for _ in range(40)]
+    fuzz_small = FuzzingExerciser(n_events=2000, seed=6)
+    monkey_big = MonkeyExerciser(n_events=5000, seed=6)
+    rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+    rac_fuzz = np.mean(
+        [fuzz_small.exercise(a, rng_a).achieved_rac for a in apps]
+    )
+    rac_monkey = np.mean(
+        [monkey_big.exercise(a, rng_b).achieved_rac for a in apps]
+    )
+    assert rac_fuzz >= rac_monkey - 0.02
+
+
+def test_fuzzing_pluggable_into_engine(sdk, generator):
+    from repro.core.engine import DynamicAnalysisEngine
+
+    engine = DynamicAnalysisEngine(sdk, [], seed=8)
+    engine.monkey = FuzzingExerciser(n_events=5000, seed=8)
+    analysis = engine.analyze(generator.sample_app(malicious=False))
+    assert analysis.result.monkey.achieved_rac > 0

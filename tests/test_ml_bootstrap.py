@@ -1,0 +1,79 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bootstrap import (
+    MetricInterval,
+    bootstrap_metrics,
+    months_differ,
+)
+
+
+def _labels(n=400, rate=0.1, acc=0.95, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.random(n) < rate
+    flip = rng.random(n) > acc
+    pred = np.where(flip, ~y, y)
+    return y, pred
+
+
+def test_intervals_contain_point():
+    y, pred = _labels()
+    report = bootstrap_metrics(y, pred, n_resamples=300, seed=1)
+    for interval in (report.precision, report.recall, report.f1):
+        assert interval.low <= interval.point <= interval.high
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+        assert interval.point in interval
+
+
+def test_interval_width_shrinks_with_sample_size():
+    # Precision has flips in both samples; recall can degenerate to an
+    # exactly-perfect small sample, so compare precision widths.
+    y_small, p_small = _labels(n=150, seed=2)
+    y_big, p_big = _labels(n=3000, seed=2)
+    small = bootstrap_metrics(y_small, p_small, n_resamples=300, seed=3)
+    big = bootstrap_metrics(y_big, p_big, n_resamples=300, seed=3)
+    assert big.precision.width < small.precision.width
+
+
+def test_deterministic_given_seed():
+    y, pred = _labels()
+    a = bootstrap_metrics(y, pred, n_resamples=200, seed=5)
+    b = bootstrap_metrics(y, pred, n_resamples=200, seed=5)
+    assert a.precision == b.precision
+    assert a.f1 == b.f1
+
+
+def test_perfect_predictor_has_tight_top_interval():
+    y, _ = _labels(n=500, seed=6)
+    report = bootstrap_metrics(y, y.copy(), n_resamples=200, seed=6)
+    assert report.precision.point == 1.0
+    assert report.precision.low == 1.0
+
+
+def test_confidence_affects_width():
+    y, pred = _labels(seed=7)
+    narrow = bootstrap_metrics(y, pred, confidence=0.8, seed=8)
+    wide = bootstrap_metrics(y, pred, confidence=0.99, seed=8)
+    assert wide.recall.width >= narrow.recall.width
+
+
+def test_months_differ():
+    a = MetricInterval(0.98, 0.97, 0.99, 0.95)
+    b = MetricInterval(0.90, 0.88, 0.92, 0.95)
+    c = MetricInterval(0.97, 0.96, 0.985, 0.95)
+    assert months_differ(a, b)
+    assert not months_differ(a, c)
+
+
+def test_validation():
+    y, pred = _labels()
+    with pytest.raises(ValueError):
+        bootstrap_metrics(y[:10], pred[:5])
+    with pytest.raises(ValueError):
+        bootstrap_metrics([], [])
+    with pytest.raises(ValueError):
+        bootstrap_metrics(y, pred, n_resamples=2)
+    with pytest.raises(ValueError):
+        bootstrap_metrics(y, pred, confidence=0.3)

@@ -1,0 +1,155 @@
+"""Tests for metrics and statistics against known values and scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.ml.metrics import (
+    ClassificationReport,
+    confusion_counts,
+    evaluate,
+    mean_report,
+)
+from repro.ml.stats import (
+    fit_trimodal,
+    r2_score,
+    rankdata,
+    spearman_rho,
+    spearman_rho_columns,
+)
+
+
+# -- metrics ------------------------------------------------------------
+
+
+def test_confusion_counts_basic():
+    y = np.array([1, 1, 0, 0, 1])
+    p = np.array([1, 0, 1, 0, 1])
+    assert confusion_counts(y, p) == (2, 1, 1, 1)
+
+
+def test_confusion_shape_mismatch():
+    with pytest.raises(ValueError):
+        confusion_counts(np.array([1]), np.array([1, 0]))
+
+
+def test_report_values():
+    rep = ClassificationReport(tp=8, fp=2, tn=85, fn=5)
+    assert rep.precision == pytest.approx(0.8)
+    assert rep.recall == pytest.approx(8 / 13)
+    assert rep.f1 == pytest.approx(
+        2 * rep.precision * rep.recall / (rep.precision + rep.recall)
+    )
+    assert rep.accuracy == pytest.approx(93 / 100)
+    assert rep.false_positive_rate == pytest.approx(2 / 87)
+
+
+def test_report_degenerate_cases():
+    rep = ClassificationReport(0, 0, 10, 0)
+    assert rep.precision == 0.0 and rep.recall == 0.0 and rep.f1 == 0.0
+
+
+def test_mean_report_pools_counts():
+    a = ClassificationReport(1, 2, 3, 4)
+    b = ClassificationReport(10, 20, 30, 40)
+    pooled = mean_report([a, b])
+    assert (pooled.tp, pooled.fp, pooled.tn, pooled.fn) == (11, 22, 33, 44)
+    with pytest.raises(ValueError):
+        mean_report([])
+
+
+def test_evaluate_wraps_counts():
+    rep = evaluate([True, False], [True, True])
+    assert (rep.tp, rep.fp) == (1, 1)
+
+
+# -- rankdata / spearman -----------------------------------------------
+
+
+def test_rankdata_matches_scipy(rng):
+    for _ in range(10):
+        x = rng.integers(0, 5, size=50).astype(float)
+        assert np.allclose(rankdata(x), scipy_stats.rankdata(x))
+
+
+def test_spearman_matches_scipy(rng):
+    for _ in range(10):
+        x = rng.normal(size=80)
+        y = 0.4 * x + rng.normal(size=80)
+        mine = spearman_rho(x, y)
+        ref = scipy_stats.spearmanr(x, y).statistic
+        assert mine == pytest.approx(ref, abs=1e-12)
+
+
+def test_spearman_with_ties_matches_scipy(rng):
+    x = rng.integers(0, 3, size=100).astype(float)
+    y = rng.integers(0, 2, size=100).astype(float)
+    if np.unique(x).size > 1 and np.unique(y).size > 1:
+        assert spearman_rho(x, y) == pytest.approx(
+            scipy_stats.spearmanr(x, y).statistic, abs=1e-12
+        )
+
+
+def test_spearman_constant_input_returns_zero():
+    assert spearman_rho(np.ones(10), np.arange(10.0)) == 0.0
+
+
+def test_spearman_columns_equals_per_column(rng):
+    X = (rng.random((200, 8)) < 0.3).astype(np.uint8)
+    y = (rng.random(200) < 0.2).astype(np.uint8)
+    fast = spearman_rho_columns(X, y)
+    for j in range(8):
+        slow = spearman_rho(X[:, j].astype(float), y.astype(float))
+        assert fast[j] == pytest.approx(slow, abs=1e-10)
+
+
+def test_spearman_columns_rejects_nonbinary(rng):
+    with pytest.raises(ValueError):
+        spearman_rho_columns(rng.normal(size=(10, 3)), np.zeros(10))
+
+
+# -- r2 and trimodal fit -------------------------------------------------
+
+
+def test_r2_perfect_and_mean_fit():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+
+def test_r2_constant_observed():
+    y = np.ones(4)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1) == 0.0
+
+
+def test_trimodal_fit_recovers_piecewise_curve():
+    # Build data straight from the paper's Eq. (1) shape.
+    n = np.concatenate(
+        [
+            np.arange(10, 800, 20),
+            np.arange(800, 1001, 20),
+            np.geomspace(1100, 50_000, 25),
+        ]
+    )
+    t = np.where(
+        n < 800,
+        0.006 * n + 2.06,
+        np.where(n <= 1000, 1e-9 * n**3.44, 6.4 * np.log(n) - 43.36),
+    )
+    fit = fit_trimodal(n, t, break1=800, break2=1000)
+    assert fit.r2_head > 0.99
+    assert fit.r2_middle > 0.99
+    assert fit.r2_tail > 0.99
+    assert fit.a1 == pytest.approx(0.006, rel=0.05)
+    assert fit.b2 == pytest.approx(3.44, rel=0.05)
+    pred = fit.predict(np.array([100.0, 900.0, 10_000.0]))
+    assert pred[0] == pytest.approx(0.006 * 100 + 2.06, rel=0.05)
+
+
+def test_trimodal_fit_validation():
+    n = np.arange(1, 100.0)
+    with pytest.raises(ValueError):
+        fit_trimodal(n, n, break1=50, break2=40)
+    with pytest.raises(ValueError):
+        fit_trimodal(n, n, break1=98, break2=99)  # empty tail

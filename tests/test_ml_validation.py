@@ -1,0 +1,73 @@
+"""Tests for stratified k-fold CV and leakage deduplication."""
+
+import numpy as np
+import pytest
+
+from repro.ml import make_classifier
+from repro.ml.validation import (
+    cross_validate,
+    drop_duplicate_test_rows,
+    stratified_kfold,
+)
+
+
+def test_folds_partition_everything():
+    y = (np.arange(100) % 7 == 0).astype(np.int8)
+    folds = stratified_kfold(y, n_splits=5, seed=1)
+    all_test = np.concatenate([test for _, test in folds])
+    assert sorted(all_test.tolist()) == list(range(100))
+    for train, test in folds:
+        assert not set(train.tolist()) & set(test.tolist())
+        assert len(train) + len(test) == 100
+
+
+def test_folds_are_stratified():
+    y = np.zeros(200, dtype=np.int8)
+    y[:40] = 1
+    for train, test in stratified_kfold(y, n_splits=10, seed=2):
+        rate = y[test].mean()
+        assert 0.1 <= rate <= 0.3
+
+
+def test_kfold_validation_errors():
+    with pytest.raises(ValueError):
+        stratified_kfold(np.array([0, 1]), n_splits=1)
+    with pytest.raises(ValueError):
+        stratified_kfold(np.array([0] * 50 + [1] * 3), n_splits=5)
+
+
+def test_duplicate_test_rows_dropped():
+    X = np.array([[1, 0], [1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+    train_idx = np.array([0, 2])
+    test_idx = np.array([1, 3])
+    kept = drop_duplicate_test_rows(X, train_idx, test_idx)
+    assert kept.tolist() == [3]
+
+
+def test_cross_validate_end_to_end(rng):
+    n, d = 400, 30
+    X = (rng.random((n, d)) < 0.2).astype(np.uint8)
+    y = (X[:, :5].sum(axis=1) >= 1).astype(np.int8)
+    result = cross_validate(
+        lambda: make_classifier("cart", seed=0), X, y, n_splits=5, seed=0
+    )
+    assert len(result.fold_reports) <= 5
+    assert result.pooled.support <= n  # dedup may drop rows
+    assert result.precision > 0.8 and result.recall > 0.8
+    assert result.train_seconds > 0.0
+
+
+def test_cross_validate_dedup_reduces_support(rng):
+    # Unique rows plus a block of exact duplicates: with dedup, the
+    # duplicated vectors vanish from the test folds and support shrinks.
+    X = (rng.random((60, 12)) < 0.4).astype(np.uint8)
+    X[40:] = X[0]
+    y = (X[:, 0] | X[:, 1]).astype(np.int8)
+    with_dedup = cross_validate(
+        lambda: make_classifier("nb"), X, y, n_splits=2, dedup=True, seed=3
+    )
+    without = cross_validate(
+        lambda: make_classifier("nb"), X, y, n_splits=2, dedup=False, seed=3
+    )
+    assert with_dedup.dropped_duplicates > 0
+    assert with_dedup.pooled.support < without.pooled.support

@@ -1,0 +1,78 @@
+"""Tests for the axplorer-style permission-map artifact."""
+
+import numpy as np
+import pytest
+
+from repro.android.permission_map import (
+    PermissionMap,
+    extract_permission_map,
+)
+
+
+@pytest.fixture(scope="module")
+def pmap(sdk):
+    return extract_permission_map(sdk)
+
+
+def test_map_covers_exactly_the_restricted_stratum(sdk, pmap):
+    resolved = pmap.restricted_api_ids(sdk)
+    assert np.array_equal(resolved, np.sort(sdk.restricted_api_ids))
+
+
+def test_map_excludes_normal_level_guards(sdk, pmap):
+    from repro.android.permissions import ProtectionLevel
+
+    for api_name, perm in pmap.entries.items():
+        assert sdk.permissions.get(perm).level is not ProtectionLevel.NORMAL
+
+
+def test_canonical_entries(sdk, pmap):
+    assert (
+        pmap.permission_for("android.telephony.SmsManager.sendTextMessage")
+        == "android.permission.SEND_SMS"
+    )
+    assert pmap.permission_for("java.io.File.exists") is None
+
+
+def test_roundtrip_through_artifact_file(sdk, pmap, tmp_path):
+    path = tmp_path / "permission-map.txt"
+    pmap.write(path)
+    restored = PermissionMap.read(path)
+    assert restored.sdk_level == sdk.level
+    assert restored.entries == pmap.entries
+
+
+def test_stale_map_against_newer_sdk(sdk, pmap):
+    """A map extracted at level N applied to level N+1: old entries
+    resolve, new APIs are invisible (the operational staleness §5.3's
+    monthly refresh addresses)."""
+    newer = sdk.extend(80)
+    resolved = pmap.restricted_api_ids(newer)
+    assert np.array_equal(resolved, np.sort(sdk.restricted_api_ids))
+    fresh = extract_permission_map(newer)
+    assert len(fresh) >= len(pmap)
+
+
+def test_read_rejects_malformed(tmp_path):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("not a map\n")
+    with pytest.raises(ValueError):
+        PermissionMap.read(bad)
+    bad.write_text("# repro-permission-map level=xx\n")
+    with pytest.raises(ValueError):
+        PermissionMap.read(bad)
+    bad.write_text("# repro-permission-map level=27\nbroken line\n")
+    with pytest.raises(ValueError):
+        PermissionMap.read(bad)
+
+
+def test_comments_and_blanks_ignored(tmp_path):
+    path = tmp_path / "map.txt"
+    path.write_text(
+        "# repro-permission-map level=27\n"
+        "\n"
+        "# a comment\n"
+        "a.B.c  ->  android.permission.X\n"
+    )
+    restored = PermissionMap.read(path)
+    assert restored.entries == {"a.B.c": "android.permission.X"}

@@ -1,0 +1,80 @@
+"""Tests for the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_readme_quickstart_snippet_runs():
+    """Keep the README example honest."""
+    from repro import AndroidSdk, ApiChecker, CorpusGenerator, SdkSpec
+
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=900, seed=77))
+    gen = CorpusGenerator(sdk, seed=78)
+    train, fresh = gen.generate(260), gen.generate(60)
+    checker = ApiChecker(sdk, seed=79).fit(train)
+    assert checker.key_api_ids.size > 0
+    report = checker.evaluate(fresh)
+    assert 0.0 <= report.f1 <= 1.0
+    verdict = checker.vet(fresh[0])
+    assert verdict.analysis_minutes > 0
+
+
+# -- property-based checks on the feature space ---------------------------
+
+
+@given(
+    api_ids=st.lists(st.integers(0, 899), min_size=0, max_size=40),
+    n_perms=st.integers(0, 5),
+    n_intents=st.integers(0, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_encode_is_bounded_and_idempotent(
+    sdk, api_ids, n_perms, n_intents
+):
+    space = FeatureSpace(sdk, [1, 5, 9, 20], FeatureMode.API)
+    obs = AppObservation(
+        apk_md5="h",
+        invoked_api_ids=tuple(api_ids),
+        permissions=tuple(sdk.permissions.names[:n_perms]),
+        intents=tuple(sdk.intents.names[:n_intents]),
+    )
+    a = space.encode(obs)
+    b = space.encode(obs)
+    assert np.array_equal(a, b)
+    assert a.shape == (space.n_features,)
+    assert set(np.unique(a).tolist()) <= {0, 1}
+    # Permission/intent bits match exactly what was requested.
+    assert a[len(space.api_ids):].sum() == n_perms + n_intents
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=10, deadline=None)
+def test_encode_batch_matches_single(sdk, n):
+    space = FeatureSpace(sdk, [2, 3], FeatureMode.API)
+    observations = [
+        AppObservation(
+            apk_md5=str(i),
+            invoked_api_ids=(2,) if i % 2 else (3,),
+            permissions=(),
+            intents=(),
+        )
+        for i in range(n)
+    ]
+    X = space.encode_batch(observations)
+    for i, obs in enumerate(observations):
+        assert np.array_equal(X[i], space.encode(obs))

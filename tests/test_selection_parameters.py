@@ -1,0 +1,70 @@
+"""Tests for selection thresholds and their sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    FREQUENT_USAGE_FRACTION,
+    SELDOM_USAGE_FRACTION,
+    SRC_THRESHOLD,
+    invocation_matrix,
+    mine_set_c,
+    select_key_apis,
+)
+
+
+def test_paper_thresholds():
+    assert SRC_THRESHOLD == 0.2
+    assert SELDOM_USAGE_FRACTION == 0.001
+    assert FREQUENT_USAGE_FRACTION == 0.5
+
+
+@pytest.fixture(scope="module")
+def mining_inputs(sdk, corpus, study_observations):
+    X = invocation_matrix(study_observations, len(sdk))
+    return X, corpus.labels.astype(np.uint8)
+
+
+def test_higher_threshold_shrinks_set_c(mining_inputs):
+    X, y = mining_inputs
+    loose, _, _ = mine_set_c(X, y, src_threshold=0.15)
+    strict, _, _ = mine_set_c(X, y, src_threshold=0.3)
+    assert set(strict.tolist()) <= set(loose.tolist())
+    assert strict.size < loose.size
+
+
+def test_seldom_filter_prunes_rare_apis(mining_inputs):
+    X, y = mining_inputs
+    permissive, _, usage = mine_set_c(X, y, seldom_fraction=0.0)
+    filtered, _, _ = mine_set_c(X, y, seldom_fraction=0.05)
+    assert set(filtered.tolist()) <= set(permissive.tolist())
+    # Everything surviving the stricter filter is above its usage bar
+    # or a frequent negative member.
+    for api_id in filtered:
+        assert usage[api_id] >= 0.05 or usage[api_id] >= 0.5
+
+
+def test_frequent_cut_controls_negative_band(mining_inputs):
+    X, y = mining_inputs
+    lenient, src, usage = mine_set_c(X, y, frequent_fraction=0.2)
+    strict, _, _ = mine_set_c(X, y, frequent_fraction=0.95)
+    lenient_neg = [i for i in lenient if src[i] < 0]
+    strict_neg = [i for i in strict if src[i] < 0]
+    assert set(strict_neg) <= set(lenient_neg)
+
+
+def test_select_key_apis_threshold_passthrough(sdk, mining_inputs):
+    X, y = mining_inputs
+    default = select_key_apis(X, y, sdk)
+    strict = select_key_apis(X, y, sdk, src_threshold=0.4)
+    assert strict.set_c.size < default.set_c.size
+    # The fixed sets are untouched by mining thresholds.
+    assert np.array_equal(strict.set_p, default.set_p)
+    assert np.array_equal(strict.set_s, default.set_s)
+
+
+def test_union_is_monotone_in_set_c(sdk, mining_inputs):
+    X, y = mining_inputs
+    default = select_key_apis(X, y, sdk)
+    strict = select_key_apis(X, y, sdk, src_threshold=0.4)
+    assert strict.n_keys <= default.n_keys

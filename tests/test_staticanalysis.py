@@ -1,0 +1,114 @@
+"""Tests for the static-analysis substrate."""
+
+import numpy as np
+import pytest
+
+from repro.staticanalysis.api_extractor import StaticApiExtractor
+from repro.staticanalysis.coverage import (
+    build_call_graph,
+    dependency_coverage,
+)
+from repro.staticanalysis.manifest_scanner import (
+    ObfuscatedApkError,
+    scan_corpus_referenced_fraction,
+    scan_referenced_activities,
+)
+
+
+def test_reference_scan_counts(generator):
+    apk = None
+    for _ in range(50):
+        candidate = generator.sample_app(malicious=False)
+        if not candidate.dex.obfuscated:
+            apk = candidate
+            break
+    assert apk is not None
+    scan = scan_referenced_activities(apk)
+    assert scan.declared == apk.manifest.declared_activity_count
+    assert 0 < scan.referenced <= scan.declared
+    assert 0 < scan.referenced_fraction <= 1.0
+
+
+def test_reference_scan_rejects_obfuscated(generator):
+    for _ in range(300):
+        apk = generator.sample_app(malicious=True)
+        if apk.dex.obfuscated:
+            with pytest.raises(ObfuscatedApkError):
+                scan_referenced_activities(apk)
+            return
+    pytest.fail("no obfuscated app generated")
+
+
+def test_corpus_referenced_fraction_near_paper(corpus):
+    # §4.2: on average only ~88% of declared Activities are referenced.
+    frac, n_scanned, skipped = scan_corpus_referenced_fraction(corpus)
+    assert 0.82 < frac < 0.94
+    assert n_scanned + skipped <= len(corpus)
+    assert skipped > 0  # obfuscated apps exist and are skipped
+
+
+def test_static_extractor_sees_direct_but_not_reflection(sdk, generator):
+    extractor = StaticApiExtractor(sdk)
+    for _ in range(300):
+        apk = generator.sample_app(malicious=True)
+        if apk.dex.reflection_api_ids:
+            break
+    else:
+        pytest.fail("no reflection-hiding app generated")
+    ids = extractor.api_ids(apk)
+    assert set(ids) == set(apk.dex.direct_api_ids)
+    assert not set(ids) & set(apk.dex.reflection_api_ids)
+
+
+def test_usage_matrix_alignment(sdk, corpus):
+    extractor = StaticApiExtractor(sdk)
+    api_ids = np.array([1, 5, 9])
+    X = extractor.usage_matrix(list(corpus)[:20], api_ids)
+    assert X.shape == (20, 3)
+    for i, apk in enumerate(list(corpus)[:20]):
+        direct = set(apk.dex.direct_api_ids)
+        for j, api_id in enumerate(api_ids):
+            assert X[i, j] == (int(api_id) in direct)
+
+
+def test_permission_and_intent_matrices(sdk, corpus):
+    extractor = StaticApiExtractor(sdk)
+    apps = list(corpus)[:10]
+    P = extractor.permission_matrix(apps)
+    I = extractor.intent_matrix(apps)
+    assert P.shape == (10, len(sdk.permissions))
+    assert I.shape == (10, len(sdk.intents))
+    assert P.sum() > 0 and I.sum() > 0
+
+
+def test_call_graph_structure(sdk):
+    graph = build_call_graph(sdk)
+    assert graph.number_of_nodes() == len(sdk)
+    assert graph.number_of_edges() >= len(sdk.internal_calls)
+
+
+def test_dependency_coverage_counts(sdk):
+    keys = np.unique(
+        np.concatenate(
+            [
+                sdk.restricted_api_ids,
+                sdk.sensitive_api_ids,
+                sdk.discriminative_api_ids,
+            ]
+        )
+    )
+    cov = dependency_coverage(sdk, keys)
+    assert cov.n_keys == keys.size
+    assert 0 < cov.n_dependent < len(sdk)
+    assert cov.covered_fraction > cov.key_fraction
+    # The generator wires ~9.6% of non-key APIs to the key set.
+    expected = sdk.spec.dependency_fraction
+    measured = cov.n_dependent / (len(sdk) - keys.size)
+    assert abs(measured - expected) < 0.05
+
+
+def test_dependency_coverage_validation(sdk):
+    with pytest.raises(ValueError):
+        dependency_coverage(sdk, np.array([], dtype=int))
+    with pytest.raises(ValueError):
+        dependency_coverage(sdk, np.array([len(sdk) + 5]))

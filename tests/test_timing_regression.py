@@ -1,0 +1,88 @@
+"""Timing-calibration regression tests.
+
+The emulation cost model is the backbone of every timing figure; these
+tests pin the calibrated operating points (docs/calibration.md) so an
+innocent-looking change to rates or overheads fails loudly instead of
+silently skewing the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulator.backends import GoogleEmulator, LightweightEmulator
+from repro.emulator.device import DeviceEnvironment
+from repro.emulator.hooks import HookEngine
+from repro.emulator.monkey import MonkeyExerciser
+from repro.emulator.runtime import emulate_app
+
+
+@pytest.fixture(scope="module")
+def timing_sample(sdk, corpus):
+    return list(corpus)[:80]
+
+
+def _mean_minutes(sdk, apps, tracked, backend=None, seed=5):
+    env = DeviceEnvironment.hardened_emulator()
+    hooks = HookEngine(sdk, tracked)
+    monkey = MonkeyExerciser(seed=seed)
+    rng = np.random.default_rng(seed)
+    backend = backend or GoogleEmulator()
+    minutes = [
+        emulate_app(a, sdk, backend, env, hooks, monkey=monkey, rng=rng,
+                    raise_on_crash=False).analysis_minutes
+        for a in apps
+    ]
+    return float(np.mean(minutes))
+
+
+def test_no_tracking_floor_is_2_minutes(sdk, timing_sample):
+    mean = _mean_minutes(sdk, timing_sample, tracked=[])
+    assert 1.7 < mean < 2.8  # paper: 2.1 min
+
+
+def test_full_tracking_blowup(sdk, timing_sample):
+    none = _mean_minutes(sdk, timing_sample, tracked=[])
+    full = _mean_minutes(sdk, timing_sample, tracked=np.arange(len(sdk)))
+    assert 15 < full / none < 40  # paper: ~25x (2.1 -> 53.6)
+
+
+def test_latent_key_tracking_cost(sdk, timing_sample):
+    keys = np.unique(
+        np.concatenate(
+            [
+                sdk.restricted_api_ids,
+                sdk.sensitive_api_ids,
+                sdk.discriminative_api_ids,
+                sdk.common_ops_api_ids,
+            ]
+        )
+    )
+    mean = _mean_minutes(sdk, timing_sample, tracked=keys)
+    assert 2.8 < mean < 6.5  # paper: 4.3 min for the 426 keys
+
+
+def test_lightweight_reduction(sdk, timing_sample):
+    keys = sdk.restricted_api_ids
+    google = _mean_minutes(sdk, timing_sample, tracked=keys)
+    light = _mean_minutes(
+        sdk,
+        [a for a in timing_sample if LightweightEmulator().compatible(a)],
+        tracked=keys,
+        backend=LightweightEmulator(),
+    )
+    reduction = 1 - light / google
+    assert 0.55 < reduction < 0.8  # paper: ~70%
+
+
+def test_invocation_volume_anchor(sdk, timing_sample):
+    env = DeviceEnvironment.hardened_emulator()
+    hooks = HookEngine(sdk, [])
+    monkey = MonkeyExerciser(seed=6)
+    rng = np.random.default_rng(6)
+    totals = [
+        emulate_app(a, sdk, GoogleEmulator(), env, hooks, monkey=monkey,
+                    rng=rng, raise_on_crash=False).total_invocations
+        for a in timing_sample
+    ]
+    mean = np.mean(totals)
+    assert 2.5e7 < mean < 6.5e7  # paper: 42.3M
