@@ -72,10 +72,12 @@ def test_fig08_api_sets(world, once):
     assert selection.overlap_count() < 0.15 * selection.n_keys
     # The hybrid union beats every single strategy on recall (the
     # paper's core argument for combining them) — within the sampling
-    # noise of the evaluation corpus.
+    # noise of the evaluation corpus.  At smoke scale a single test
+    # sample moves recall by ~0.1, so the tolerance must cover it.
+    tolerance = 0.15 if world.profile.name == "smoke" else 0.035
     union_recall = reports["union"].recall
     for name in ("Set-C", "Set-P", "Set-S"):
-        assert union_recall >= reports[name].recall - 0.035
+        assert union_recall >= reports[name].recall - tolerance
     # Set-P / Set-S alone cannot match the union (at smoke scale a
     # tiny test set can saturate recall for every configuration).
     if world.profile.name != "smoke":

@@ -26,6 +26,7 @@ from repro.core.checker import ApiChecker, VetVerdict
 from repro.core.engine import DynamicAnalysisEngine
 from repro.core.evolution import EvolutionLoop
 from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+from repro.core.pipeline import ObservationCache, VettingPipeline
 from repro.core.selection import KeyApiSelection, select_key_apis
 from repro.core.triage import TriageCenter
 from repro.core.vetting import VettingService
@@ -49,12 +50,14 @@ __all__ = [
     "FeatureSpace",
     "KeyApiSelection",
     "MarketStream",
+    "ObservationCache",
     "RandomForest",
     "ReviewPipeline",
     "SdkSpec",
     "TMarket",
     "TriageCenter",
     "VetVerdict",
+    "VettingPipeline",
     "VettingService",
     "select_key_apis",
 ]

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
     vet.add_argument("--fresh", type=int, default=400)
     vet.add_argument("--log", required=True,
                      help="output JSON-lines analysis log")
+    vet.add_argument("--workers", type=int, default=None,
+                     help="pipeline worker pool size "
+                          "(default: every emulator slot)")
+    vet.add_argument("--cache", default=None,
+                     help="JSON-lines observation cache; resubmitted "
+                          "md5s skip re-emulation")
 
     evolve = sub.add_parser("evolve", help="monthly model evolution")
     _add_common(evolve)
@@ -80,30 +86,38 @@ def cmd_demo(args) -> int:
 
 
 def cmd_vet(args) -> int:
+    from repro.core.pipeline import ObservationCache, VettingPipeline
     from repro.core.reporting import write_log
 
     sdk, generator, checker = _build_and_fit(args)
     fresh = generator.generate(args.fresh)
-    analyses = [checker._prod_engine.analyze(apk) for apk in fresh]
-    observations = [a.observation for a in analyses]
-    verdicts = []
-    for analysis in analyses:
-        X = checker.feature_space.encode(analysis.observation)[None, :]
-        prob = float(checker.classifier.predict_proba(X)[0])
-        from repro.core.checker import VetVerdict
-
-        verdicts.append(
-            VetVerdict(
-                apk_md5=analysis.observation.apk_md5,
-                malicious=prob >= checker.decision_threshold,
-                probability=prob,
-                analysis_minutes=analysis.total_minutes,
-                fell_back=analysis.fell_back,
-            )
+    cache = ObservationCache(args.cache) if args.cache else None
+    pipeline = VettingPipeline(
+        checker.production_engine, workers=args.workers, cache=cache
+    )
+    result = pipeline.run(fresh)
+    if result.failures:
+        print(f"{len(result.failures)} apps failed every backend",
+              file=sys.stderr)
+        return 1
+    observations = [a.observation for a in result.analyses]
+    verdicts = [
+        checker.verdict_from_observation(
+            a.observation,
+            analysis_minutes=a.total_minutes,
+            fell_back=a.fell_back,
         )
+        for a in result.analyses
+    ]
     n = write_log(args.log, observations, verdicts)
     flagged = sum(v.malicious for v in verdicts)
     print(f"wrote {n} analysis records to {args.log} ({flagged} flagged)")
+    print(
+        f"pipeline: {result.workers} workers, "
+        f"makespan {result.schedule.makespan_minutes:.1f} simulated min, "
+        f"{result.requeues} requeues, "
+        f"{result.cache_hits} cache hits / {result.cache_misses} misses"
+    )
     return 0
 
 

@@ -17,19 +17,28 @@
 from repro.core.capacity import AnalysisLoadModel, CapacityPlanner
 from repro.core.checker import ApiChecker, VetVerdict
 from repro.core.diffvet import DiffDecision, DiffVetter
-from repro.core.engine import AppAnalysis, DynamicAnalysisEngine
+from repro.core.engine import AnalysisFailure, AppAnalysis, DynamicAnalysisEngine
 from repro.core.evolution import EvolutionLoop, MonthlyRecord
 from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+from repro.core.pipeline import (
+    ObservationCache,
+    PipelineResult,
+    VettingPipeline,
+)
 from repro.core.selection import KeyApiSelection, select_key_apis
 from repro.core.reporting import read_log, read_observations, write_log
 from repro.core.triage import TriageCenter
 from repro.core.vetting import DailyReport, VettingService
 
 __all__ = [
+    "AnalysisFailure",
     "AnalysisLoadModel",
     "ApiChecker",
     "CapacityPlanner",
     "AppAnalysis",
+    "ObservationCache",
+    "PipelineResult",
+    "VettingPipeline",
     "DiffDecision",
     "DiffVetter",
     "AppObservation",

@@ -163,6 +163,12 @@ class ApiChecker:
         self._require_fitted()
         return self.feature_space.api_ids
 
+    @property
+    def production_engine(self) -> DynamicAnalysisEngine:
+        """The fitted production engine (lightweight + fallback)."""
+        self._require_fitted()
+        return self._prod_engine
+
     def _require_fitted(self) -> None:
         if self.feature_space is None or self.classifier is None:
             raise RuntimeError("ApiChecker must be fitted before use")
@@ -171,16 +177,42 @@ class ApiChecker:
     # Vetting (the §5 production pipeline)
     # ------------------------------------------------------------------
 
+    def score_observation(self, observation: AppObservation) -> float:
+        """Malice probability for one (possibly cached) observation."""
+        self._require_fitted()
+        X = self.feature_space.encode(observation)[None, :]
+        return float(self.classifier.predict_proba(X)[0])
+
+    def verdict_from_observation(
+        self,
+        observation: AppObservation,
+        analysis_minutes: float | None = None,
+        fell_back: bool = False,
+    ) -> VetVerdict:
+        """Classify an observation produced elsewhere (pipeline, cache,
+        replayed log).  The verdict depends only on the observation's
+        features, so a cache hit yields the same malicious/probability
+        pair as the original emulation did.
+        """
+        prob = self.score_observation(observation)
+        return VetVerdict(
+            apk_md5=observation.apk_md5,
+            malicious=prob >= self.decision_threshold,
+            probability=prob,
+            analysis_minutes=(
+                observation.analysis_minutes
+                if analysis_minutes is None
+                else analysis_minutes
+            ),
+            fell_back=fell_back,
+        )
+
     def vet(self, apk: Apk) -> VetVerdict:
         """Analyze and classify one submitted APK."""
         self._require_fitted()
         analysis = self._prod_engine.analyze(apk)
-        X = self.feature_space.encode(analysis.observation)[None, :]
-        prob = float(self.classifier.predict_proba(X)[0])
-        return VetVerdict(
-            apk_md5=apk.md5,
-            malicious=prob >= self.decision_threshold,
-            probability=prob,
+        return self.verdict_from_observation(
+            analysis.observation,
             analysis_minutes=analysis.total_minutes,
             fell_back=analysis.fell_back,
         )

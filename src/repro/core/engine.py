@@ -5,10 +5,18 @@ crash detection (the customized SystemServer reports exceptions to the
 scheduling cores) with bounded retry, and fallback from the lightweight
 Android-x86 engine to the Google full-system emulator for the <1% of
 incompatible apps — so that *every* submitted app gets analyzed.
+
+Randomness is derived **per app** from ``(engine seed, apk md5)``, not
+from one shared stream: the observation an app produces depends only on
+the app and the engine configuration, never on which other apps ran
+before it or on which worker thread executed it.  This is what lets the
+parallel pipeline (:mod:`repro.core.pipeline`) produce bit-identical
+results to a sequential run.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +41,28 @@ from repro.emulator.runtime import EmulationResult, emulate_app
 _DEFAULT_FALLBACK = object()
 
 
+class AnalysisFailure(RuntimeError):
+    """Every backend exhausted its retries for one app.
+
+    Attributes:
+        apk_md5: identity of the app that could not be analyzed.
+        attempts: total emulation attempts made before giving up.
+        wasted_minutes: simulated time burnt on the failed attempts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        apk_md5: str = "",
+        attempts: int = 0,
+        wasted_minutes: float = 0.0,
+    ):
+        super().__init__(message)
+        self.apk_md5 = apk_md5
+        self.attempts = attempts
+        self.wasted_minutes = wasted_minutes
+
+
 @dataclass(frozen=True)
 class AppAnalysis:
     """Engine output for one app.
@@ -43,17 +73,25 @@ class AppAnalysis:
         attempts: total emulation attempts (1 = clean first run).
         fell_back: True when the Google emulator had to take over.
         total_minutes: analysis time including failed attempts.
+        from_cache: True when the observation was served from an
+            :class:`~repro.core.pipeline.ObservationCache` hit (no
+            emulation ran; ``result`` is None).
     """
 
     observation: AppObservation
-    result: EmulationResult
+    result: EmulationResult | None
     attempts: int
     fell_back: bool
     total_minutes: float
+    from_cache: bool = False
 
 
 class DynamicAnalysisEngine:
     """Analyzes apps on a primary backend with automatic fallback.
+
+    Thread-safe: ``analyze`` may be called concurrently from pipeline
+    workers; the stats counters are lock-protected and all per-app
+    randomness comes from :meth:`rng_for`.
 
     Args:
         sdk: API registry.
@@ -89,12 +127,41 @@ class DynamicAnalysisEngine:
         self.env = env or DeviceEnvironment.hardened_emulator()
         self.monkey = MonkeyExerciser(n_events=monkey_events, seed=seed)
         self.max_retries = max_retries
-        self._rng = np.random.default_rng(seed)
-        self.stats = {"analyzed": 0, "crashes": 0, "fallbacks": 0}
+        self.seed = seed
+        self._stats_lock = threading.Lock()
+        self.stats = {
+            "submissions": 0,
+            "analyzed": 0,
+            "crashes": 0,
+            "fallbacks": 0,
+            "failures": 0,
+        }
 
     @property
     def tracked_api_ids(self) -> np.ndarray:
         return self.hooks.tracked_ids
+
+    def rng_for(self, apk: Apk) -> np.random.Generator:
+        """Per-app generator seeded from ``(engine seed, apk md5)``.
+
+        The stream an app sees is a pure function of the app identity
+        and the engine seed — independent of submission order, worker
+        count, and whatever ran before — so sequential and parallel
+        executions observe identical randomness.
+        """
+        return np.random.default_rng([self.seed, int(apk.md5[:16], 16)])
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += by
+
+    def crash_waste_minutes(self) -> float:
+        """Simulated time a crashed attempt burns before detection.
+
+        A crashed run still burns roughly half its UI time before the
+        SystemServer exception surfaces to the scheduling cores.
+        """
+        return self.monkey.n_events * 126.0 / 5000 / 120
 
     def _attempt_chain(self) -> list[EmulatorBackend]:
         chain = [self.primary]
@@ -102,14 +169,87 @@ class DynamicAnalysisEngine:
             chain.append(self.fallback)
         return chain
 
-    def analyze(self, apk: Apk) -> AppAnalysis:
-        """Analyze one app, retrying and falling back as needed.
+    @property
+    def attempt_chain(self) -> list[EmulatorBackend]:
+        """Backends in fallback order (primary first)."""
+        return self._attempt_chain()
+
+    def attempt(
+        self,
+        apk: Apk,
+        backend: EmulatorBackend,
+        rng: np.random.Generator,
+    ) -> EmulationResult:
+        """One emulation attempt of one app on one backend.
+
+        This is the primitive both :meth:`analyze` and the parallel
+        pipeline drive; it performs no retry or fallback itself.
 
         Raises:
-            RuntimeError: only if every backend exhausts its retries
+            IncompatibleAppError: the app cannot run on this backend.
+            EmulatorCrash: the run crashed (counted in ``stats``).
+        """
+        try:
+            return emulate_app(
+                apk,
+                self.sdk,
+                backend,
+                self.env,
+                self.hooks,
+                monkey=self.monkey,
+                rng=rng,
+            )
+        except EmulatorCrash:
+            self._bump("crashes")
+            raise
+
+    def _finish(
+        self,
+        apk: Apk,
+        result: EmulationResult,
+        attempts: int,
+        fell_back: bool,
+        wasted_minutes: float,
+    ) -> AppAnalysis:
+        """Record a successful analysis and package the observation."""
+        self._bump("analyzed")
+        if fell_back:
+            self._bump("fallbacks")
+        obs = AppObservation(
+            apk_md5=apk.md5,
+            invoked_api_ids=result.hooked_api_ids,
+            permissions=apk.manifest.requested_permissions,
+            intents=result.observed_intents,
+            analysis_minutes=result.analysis_minutes + wasted_minutes,
+            invoked_api_counts=tuple(
+                (r.api_id, r.count) for r in result.hook_records
+            ),
+        )
+        return AppAnalysis(
+            observation=obs,
+            result=result,
+            attempts=attempts,
+            fell_back=fell_back,
+            total_minutes=result.analysis_minutes + wasted_minutes,
+        )
+
+    def analyze(
+        self, apk: Apk, rng: np.random.Generator | None = None
+    ) -> AppAnalysis:
+        """Analyze one app, retrying and falling back as needed.
+
+        Args:
+            apk: the app to analyze.
+            rng: override the per-app generator (tests only; defaults
+                to :meth:`rng_for`).
+
+        Raises:
+            AnalysisFailure: only if every backend exhausts its retries
                 (with a Google-emulator fallback this is vanishingly
                 rare; the production deployment analyzes all apps).
         """
+        rng = rng if rng is not None else self.rng_for(apk)
+        self._bump("submissions")
         attempts = 0
         wasted_minutes = 0.0
         fell_back = False
@@ -120,47 +260,23 @@ class DynamicAnalysisEngine:
             for _ in range(self.max_retries + 1):
                 attempts += 1
                 try:
-                    result = emulate_app(
-                        apk,
-                        self.sdk,
-                        backend,
-                        self.env,
-                        self.hooks,
-                        monkey=self.monkey,
-                        rng=self._rng,
-                    )
+                    result = self.attempt(apk, backend, rng)
                 except IncompatibleAppError as exc:
                     last_error = exc
                     break  # no point retrying on the same backend
                 except EmulatorCrash as exc:
                     last_error = exc
-                    self.stats["crashes"] += 1
-                    # A crashed run still burns roughly half its time
-                    # before the SystemServer exception surfaces.
-                    wasted_minutes += self.monkey.n_events * 126.0 / 5000 / 120
+                    wasted_minutes += self.crash_waste_minutes()
                     continue
-                self.stats["analyzed"] += 1
-                if fell_back:
-                    self.stats["fallbacks"] += 1
-                obs = AppObservation(
-                    apk_md5=apk.md5,
-                    invoked_api_ids=result.hooked_api_ids,
-                    permissions=apk.manifest.requested_permissions,
-                    intents=result.observed_intents,
-                    analysis_minutes=result.analysis_minutes + wasted_minutes,
-                    invoked_api_counts=tuple(
-                        (r.api_id, r.count) for r in result.hook_records
-                    ),
+                return self._finish(
+                    apk, result, attempts, fell_back, wasted_minutes
                 )
-                return AppAnalysis(
-                    observation=obs,
-                    result=result,
-                    attempts=attempts,
-                    fell_back=fell_back,
-                    total_minutes=result.analysis_minutes + wasted_minutes,
-                )
-        raise RuntimeError(
-            f"all backends failed for {apk.package_name}: {last_error}"
+        self._bump("failures")
+        raise AnalysisFailure(
+            f"all backends failed for {apk.package_name}: {last_error}",
+            apk_md5=apk.md5,
+            attempts=attempts,
+            wasted_minutes=wasted_minutes,
         )
 
     def analyze_corpus(self, corpus: AppCorpus | list[Apk]) -> list[AppAnalysis]:

@@ -1,0 +1,441 @@
+"""Parallel vetting pipeline: crash-aware dispatch over emulator slots.
+
+The deployed APICHECKER vets ~10K submissions/day on one 16-emulator
+server (§5.2).  :class:`VettingPipeline` reproduces that executor shape:
+a worker pool sized to :attr:`ServerCluster.total_slots` pulls apps off
+a dispatch queue, each worker runs *one emulation attempt* at a time,
+and the dispatcher requeues crashed or incompatible apps through the
+engine's retry/fallback chain with bounded (capped, exponential)
+simulated backoff.  The per-slot timeline is recorded as attempts
+actually complete, so the resulting :class:`ScheduleReport` reflects
+real execution order rather than post-hoc list scheduling.
+
+Determinism: every app draws randomness from
+:meth:`DynamicAnalysisEngine.rng_for` — a pure function of the engine
+seed and the APK md5 — and an app is never in flight twice at once, so
+its attempt sequence consumes the same stream regardless of worker
+count.  Sequential, 1-worker, and N-worker runs produce bit-identical
+observations.
+
+:class:`ObservationCache` short-circuits re-emulation for resubmitted
+and repackaged APKs (md5-keyed), the dominant share of daily market
+traffic; entries optionally persist as JSON lines compatible with
+:mod:`repro.core.reporting`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from pathlib import Path
+
+from repro.android.apk import Apk
+from repro.core.engine import AppAnalysis, DynamicAnalysisEngine
+from repro.core.features import AppObservation
+from repro.corpus.generator import AppCorpus
+from repro.emulator.backends import EmulatorCrash, IncompatibleAppError
+from repro.emulator.cluster import (
+    ScheduledTask,
+    ScheduleReport,
+    ServerCluster,
+)
+from repro.emulator.runtime import EmulationResult
+
+#: Cache file format marker (shares the analysis-log JSON-lines shape).
+CACHE_FORMAT_VERSION = 1
+
+
+class ObservationCache:
+    """md5-keyed observation store with optional JSON-lines persistence.
+
+    The daily vetting loop sees heavy resubmission traffic (updates,
+    repackaged APKs retried by developers); an app whose md5 was already
+    analyzed skips re-emulation entirely and replays the stored
+    observation.  Thread-safe.
+
+    Args:
+        path: JSON-lines file to load from / append to.  Missing files
+            are created on first :meth:`put`; ``None`` keeps the cache
+            purely in memory.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[str, AppObservation] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None:
+            if self.path.exists():
+                self._load()
+            else:
+                # Fail on an unwritable location now, not after a full
+                # day of emulation when the first entry is appended.
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _to_dict(obs: AppObservation) -> dict:
+        return {
+            "v": CACHE_FORMAT_VERSION,
+            "md5": obs.apk_md5,
+            "apis": list(obs.invoked_api_ids),
+            "api_counts": [list(pair) for pair in obs.invoked_api_counts],
+            "permissions": list(obs.permissions),
+            "intents": list(obs.intents),
+            "minutes": obs.analysis_minutes,
+        }
+
+    @staticmethod
+    def _from_dict(record: dict) -> AppObservation:
+        version = record.get("v")
+        if version != CACHE_FORMAT_VERSION:
+            raise ValueError(f"unsupported cache format version: {version!r}")
+        return AppObservation(
+            apk_md5=record["md5"],
+            invoked_api_ids=tuple(int(i) for i in record["apis"]),
+            permissions=tuple(record["permissions"]),
+            intents=tuple(record["intents"]),
+            analysis_minutes=float(record.get("minutes", 0.0)),
+            invoked_api_counts=tuple(
+                (int(a), int(c)) for a, c in record.get("api_counts", [])
+            ),
+        )
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: malformed cache line"
+                    ) from exc
+                obs = self._from_dict(record)
+                self._entries[obs.apk_md5] = obs
+
+    def get(self, md5: str) -> AppObservation | None:
+        """Look up an observation, counting the hit or miss."""
+        with self._lock:
+            obs = self._entries.get(md5)
+            if obs is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return obs
+
+    def put(self, obs: AppObservation) -> None:
+        """Store an observation (idempotent per md5) and persist it."""
+        with self._lock:
+            if obs.apk_md5 in self._entries:
+                return
+            self._entries[obs.apk_md5] = obs
+            if self.path is not None:
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(self._to_dict(obs)))
+                    fh.write("\n")
+
+    def __contains__(self, md5: str) -> bool:
+        with self._lock:
+            return md5 in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass(frozen=True)
+class PipelineFailure:
+    """One app that exhausted every backend under pipeline execution."""
+
+    app_index: int
+    apk_md5: str
+    reason: str
+
+
+@dataclass
+class PipelineResult:
+    """Everything one :meth:`VettingPipeline.run` produced.
+
+    Attributes:
+        analyses: per-app outcomes in submission order (None at indices
+            that failed every backend; see ``failures``).
+        schedule: per-slot timeline derived from actual execution order.
+        cache_hits / cache_misses: observation-cache traffic this run.
+        requeues: dispatcher requeues (crashes + backend fallbacks).
+        failures: apps no backend could analyze.
+        wall_seconds: real elapsed time of the run.
+        workers: worker-pool size used.
+    """
+
+    analyses: list[AppAnalysis | None]
+    schedule: ScheduleReport
+    cache_hits: int
+    cache_misses: int
+    requeues: int
+    failures: tuple[PipelineFailure, ...]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def observations(self) -> list[AppObservation]:
+        """Successful observations in submission order."""
+        return [a.observation for a in self.analyses if a is not None]
+
+    @property
+    def n_analyzed(self) -> int:
+        return sum(
+            1 for a in self.analyses if a is not None and not a.from_cache
+        )
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for a in self.analyses if a is not None and a.from_cache)
+
+
+@dataclass
+class _AppTask:
+    """Dispatcher-side state for one submitted app."""
+
+    index: int
+    apk: Apk
+    rng: object  # np.random.Generator; typed loosely to keep pickling simple
+    backend_pos: int = 0
+    retries_on_backend: int = 0
+    attempts: int = 0
+    requeues: int = 0
+    wasted_minutes: float = 0.0
+    backoff_minutes: float = 0.0
+    submitted: bool = False
+    last_error: str = ""
+
+
+class VettingPipeline:
+    """Dispatches analyses onto a worker pool of emulator slots.
+
+    Args:
+        engine: the analysis engine (shared by all workers; its per-app
+            rng derivation is what makes sharing safe).
+        cluster: hardware model; the pool is sized to its slot count.
+        workers: override the pool size (clamped to
+            ``cluster.total_slots``; default: all slots).
+        cache: md5-keyed observation cache; hits skip emulation.
+        base_backoff_minutes: simulated delay before a requeued app's
+            next attempt may start, doubled per requeue.
+        max_backoff_minutes: backoff cap (the "bounded" part).
+        pace_seconds_per_minute: real seconds a worker holds its slot
+            per simulated emulation minute.  0.0 (default) runs the
+            simulation flat out; benchmarks set it >0 to reproduce the
+            emulator-occupancy-bound regime the production server
+            operates in, where parallel slots buy real wall-clock time.
+    """
+
+    def __init__(
+        self,
+        engine: DynamicAnalysisEngine,
+        cluster: ServerCluster | None = None,
+        workers: int | None = None,
+        cache: ObservationCache | None = None,
+        base_backoff_minutes: float = 0.25,
+        max_backoff_minutes: float = 4.0,
+        pace_seconds_per_minute: float = 0.0,
+    ):
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        if base_backoff_minutes < 0 or max_backoff_minutes < 0:
+            raise ValueError("backoff minutes must be non-negative")
+        if pace_seconds_per_minute < 0:
+            raise ValueError("pace must be non-negative")
+        self.engine = engine
+        self.cluster = cluster or ServerCluster(n_servers=1)
+        slots = self.cluster.total_slots
+        self.workers = slots if workers is None else min(workers, slots)
+        self.cache = cache
+        self.base_backoff_minutes = base_backoff_minutes
+        self.max_backoff_minutes = max_backoff_minutes
+        self.pace_seconds_per_minute = pace_seconds_per_minute
+
+    # ------------------------------------------------------------------
+    # Worker side: one emulation attempt
+    # ------------------------------------------------------------------
+
+    def _run_attempt(self, task: _AppTask) -> tuple[str, object]:
+        """Run one attempt of one app on its current backend."""
+        backend = self.engine.attempt_chain[task.backend_pos]
+        pace = self.pace_seconds_per_minute
+        try:
+            result = self.engine.attempt(task.apk, backend, task.rng)
+        except IncompatibleAppError as exc:
+            return "incompatible", str(exc)
+        except EmulatorCrash as exc:
+            if pace:
+                time.sleep(self.engine.crash_waste_minutes() * pace)
+            return "crash", str(exc)
+        if pace:
+            time.sleep(result.analysis_minutes * pace)
+        return "ok", result
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+
+    def run(self, corpus: AppCorpus | list[Apk]) -> PipelineResult:
+        """Vet a batch, streaming completions back as they finish."""
+        apks = list(corpus)
+        started = time.perf_counter()
+        n = len(apks)
+        analyses: list[AppAnalysis | None] = [None] * n
+        failures: list[PipelineFailure] = []
+        requeues = 0
+        hits_before = self.cache.hits if self.cache is not None else 0
+        misses_before = self.cache.misses if self.cache is not None else 0
+
+        engine = self.engine
+        chain = engine.attempt_chain
+        slots_per_server = self.cluster.server.emulator_slots
+        # Simulated per-slot clocks for the executed timeline.
+        slot_heap: list[tuple[float, int]] = [
+            (0.0, s) for s in range(self.workers)
+        ]
+        timeline: list[ScheduledTask] = []
+
+        pending: deque[_AppTask] = deque(
+            _AppTask(index=i, apk=apk, rng=engine.rng_for(apk))
+            for i, apk in enumerate(apks)
+        )
+        # Apps deferred because an identical md5 is currently in flight.
+        deferred: dict[str, list[_AppTask]] = {}
+        inflight_md5: set[str] = set()
+
+        def record_success(task: _AppTask, result: EmulationResult) -> None:
+            nonlocal timeline
+            analysis = engine._finish(
+                task.apk,
+                result,
+                task.attempts,
+                task.backend_pos > 0,
+                task.wasted_minutes,
+            )
+            analyses[task.index] = analysis
+            avail, slot = heappop(slot_heap)
+            start = max(avail, task.backoff_minutes)
+            end = start + analysis.total_minutes
+            heappush(slot_heap, (end, slot))
+            timeline.append(
+                ScheduledTask(
+                    app_index=task.index,
+                    server=slot // slots_per_server,
+                    slot=slot % slots_per_server,
+                    start_minute=start,
+                    end_minute=end,
+                )
+            )
+            if self.cache is not None:
+                self.cache.put(analysis.observation)
+
+        def record_failure(task: _AppTask) -> None:
+            engine._bump("failures")
+            failures.append(
+                PipelineFailure(
+                    app_index=task.index,
+                    apk_md5=task.apk.md5,
+                    reason=(
+                        f"all backends failed for {task.apk.package_name}: "
+                        f"{task.last_error}"
+                    ),
+                )
+            )
+
+        def release_deferred(md5: str) -> None:
+            for held in deferred.pop(md5, []):
+                pending.appendleft(held)
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            inflight: dict[object, _AppTask] = {}
+            while pending or inflight:
+                # Fill every free worker slot.
+                while pending and len(inflight) < self.workers:
+                    task = pending.popleft()
+                    md5 = task.apk.md5
+                    if self.cache is not None and task.attempts == 0:
+                        cached = self.cache.get(md5)
+                        if cached is not None:
+                            analyses[task.index] = AppAnalysis(
+                                observation=cached,
+                                result=None,
+                                attempts=0,
+                                fell_back=False,
+                                total_minutes=0.0,
+                                from_cache=True,
+                            )
+                            continue
+                        if md5 in inflight_md5:
+                            deferred.setdefault(md5, []).append(task)
+                            continue
+                    if not task.submitted:
+                        task.submitted = True
+                        engine._bump("submissions")
+                    inflight_md5.add(md5)
+                    fut = pool.submit(self._run_attempt, task)
+                    inflight[fut] = task
+                if not inflight:
+                    continue
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task = inflight.pop(fut)
+                    inflight_md5.discard(task.apk.md5)
+                    kind, payload = fut.result()
+                    task.attempts += 1
+                    if kind == "ok":
+                        record_success(task, payload)
+                        release_deferred(task.apk.md5)
+                        continue
+                    task.last_error = str(payload)
+                    if kind == "crash":
+                        task.wasted_minutes += engine.crash_waste_minutes()
+                        task.retries_on_backend += 1
+                        if task.retries_on_backend > engine.max_retries:
+                            task.backend_pos += 1
+                            task.retries_on_backend = 0
+                    else:  # incompatible: no point retrying this backend
+                        task.backend_pos += 1
+                        task.retries_on_backend = 0
+                    if task.backend_pos >= len(chain):
+                        record_failure(task)
+                        release_deferred(task.apk.md5)
+                        continue
+                    task.requeues += 1
+                    requeues += 1
+                    task.backoff_minutes = min(
+                        self.max_backoff_minutes,
+                        self.base_backoff_minutes
+                        * 2 ** (task.requeues - 1),
+                    ) + task.backoff_minutes
+                    pending.append(task)
+
+        schedule = ScheduleReport.from_executed(
+            timeline, self.workers, slots_per_server
+        )
+        hits = (self.cache.hits - hits_before) if self.cache is not None else 0
+        misses = (
+            (self.cache.misses - misses_before)
+            if self.cache is not None
+            else 0
+        )
+        return PipelineResult(
+            analyses=analyses,
+            schedule=schedule,
+            cache_hits=hits,
+            cache_misses=misses,
+            requeues=requeues,
+            failures=tuple(failures),
+            wall_seconds=time.perf_counter() - started,
+            workers=self.workers,
+        )

@@ -1,18 +1,22 @@
 """Daily market vetting service (§5.2 production operation).
 
 One :class:`VettingService` instance is "the single commodity server"
-running APICHECKER at T-Market: it takes a day's submissions, schedules
-their analyses across the 16 emulator slots, classifies each app, and
+running APICHECKER at T-Market: it takes a day's submissions, runs their
+analyses through the parallel :class:`VettingPipeline` (a worker pool
+sized to the 16 emulator slots, with crash requeue and an md5-keyed
+observation cache for resubmission traffic), classifies each app, and
 runs the FP triage workflow on everything flagged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.checker import ApiChecker, VetVerdict
+from repro.core.pipeline import ObservationCache, VettingPipeline
 from repro.core.triage import FalsePositiveReport, TriageCenter
 from repro.corpus.generator import AppCorpus
 from repro.emulator.cluster import ScheduleReport, ServerCluster
@@ -26,11 +30,15 @@ class DailyReport:
         n_apps: submissions processed.
         n_flagged: apps APICHECKER marked malicious.
         verdicts: per-app outcomes.
-        schedule: cluster placement of the analyses.
+        schedule: per-slot timeline of the day's analyses, recorded from
+            actual pipeline execution order.
         mean_minutes / median_minutes / max_minutes: per-app analysis
-            time distribution.
+            time distribution (cache hits cost ~0 minutes).
         fp_report: outcome of the flagged-app triage (None when no
             ground truth was supplied).
+        cache_hits: submissions served from the observation cache
+            without re-emulation.
+        requeues: crash/incompatibility requeues the pipeline handled.
     """
 
     n_apps: int
@@ -41,6 +49,8 @@ class DailyReport:
     median_minutes: float
     max_minutes: float
     fp_report: FalsePositiveReport | None = None
+    cache_hits: int = 0
+    requeues: int = 0
 
     @property
     def throughput_per_day(self) -> float:
@@ -60,6 +70,12 @@ class VettingService:
             matching the deployed system).
         triage: FP/FN triage center (default: one keyed to the
             checker's key-API set).
+        workers: pipeline worker-pool size (default: every emulator
+            slot the cluster has).
+        cache: observation cache shared across days — an
+            :class:`ObservationCache`, a persistence path, or ``True``
+            for a fresh in-memory cache.  ``None`` disables caching and
+            re-emulates every submission.
     """
 
     def __init__(
@@ -67,6 +83,8 @@ class VettingService:
         checker: ApiChecker,
         cluster: ServerCluster | None = None,
         triage: TriageCenter | None = None,
+        workers: int | None = None,
+        cache: ObservationCache | str | Path | bool | None = None,
     ):
         checker._require_fitted()
         self.checker = checker
@@ -83,6 +101,17 @@ class VettingService:
                 checker.key_api_ids, exclude_api_ids=exclude
             )
         self.triage = triage
+        if cache is True:
+            cache = ObservationCache()
+        elif isinstance(cache, (str, Path)):
+            cache = ObservationCache(cache)
+        self.cache = cache
+        self.pipeline = VettingPipeline(
+            checker.production_engine,
+            cluster=self.cluster,
+            workers=workers,
+            cache=self.cache,
+        )
         self.days_processed = 0
 
     def process_day(
@@ -99,9 +128,22 @@ class VettingService:
         """
         if len(submissions) == 0:
             raise ValueError("a vetting day needs at least one submission")
-        verdicts = self.checker.vet_batch(submissions)
+        result = self.pipeline.run(submissions)
+        if result.failures:
+            detail = "; ".join(f.reason for f in result.failures[:3])
+            raise RuntimeError(
+                f"{len(result.failures)} submissions could not be "
+                f"analyzed by any backend: {detail}"
+            )
+        verdicts = [
+            self.checker.verdict_from_observation(
+                analysis.observation,
+                analysis_minutes=analysis.total_minutes,
+                fell_back=analysis.fell_back,
+            )
+            for analysis in result.analyses
+        ]
         minutes = np.array([v.analysis_minutes for v in verdicts])
-        schedule = self.cluster.schedule(minutes)
         fp_report = None
         if true_labels is not None:
             fp_report = self.triage.triage_flagged(
@@ -112,9 +154,11 @@ class VettingService:
             n_apps=len(submissions),
             n_flagged=sum(v.malicious for v in verdicts),
             verdicts=tuple(verdicts),
-            schedule=schedule,
+            schedule=result.schedule,
             mean_minutes=float(minutes.mean()),
             median_minutes=float(np.median(minutes)),
             max_minutes=float(minutes.max()),
             fp_report=fp_report,
+            cache_hits=result.cache_hits,
+            requeues=result.requeues,
         )

@@ -42,10 +42,11 @@ class ScheduleReport:
     tasks: list[ScheduledTask]
     makespan_minutes: float
     slot_busy_minutes: np.ndarray
+    executed: bool = False
 
     @property
     def utilization(self) -> float:
-        """Mean slot utilization over the makespan."""
+        """Mean slot utilization over the makespan (0.0 when empty)."""
         if self.makespan_minutes <= 0:
             return 0.0
         return float(
@@ -53,10 +54,33 @@ class ScheduleReport:
         )
 
     def throughput_per_day(self) -> float:
-        """Apps per 24h at the observed pace."""
+        """Apps per 24h at the observed pace (0.0 for empty batches)."""
         if self.makespan_minutes <= 0:
-            return float("inf")
+            return 0.0
         return len(self.tasks) * (24 * 60) / self.makespan_minutes
+
+    @classmethod
+    def from_executed(
+        cls,
+        tasks: list[ScheduledTask],
+        n_slots: int,
+        slots_per_server: int,
+    ) -> "ScheduleReport":
+        """Build a report from tasks as a pipeline *actually* ran them.
+
+        Unlike :meth:`ServerCluster.schedule`, which simulates list
+        scheduling over predicted durations, the placements here come
+        from real execution order: each task's slot and start/end were
+        recorded when a worker completed it.
+        """
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        busy = np.zeros(n_slots)
+        for t in tasks:
+            flat = t.server * slots_per_server + t.slot
+            busy[flat] += t.end_minute - t.start_minute
+        makespan = max((t.end_minute for t in tasks), default=0.0)
+        return cls(list(tasks), makespan, busy, executed=True)
 
 
 @dataclass(frozen=True)

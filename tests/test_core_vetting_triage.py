@@ -51,6 +51,43 @@ def test_process_day_rejects_empty(service, sdk):
         service.process_day(AppCorpus(sdk, []))
 
 
+def test_second_day_served_from_cache(fitted_checker, sdk, catalog):
+    """Resubmitted md5s are reported as cache hits and not re-emulated."""
+    from repro.corpus.generator import AppCorpus
+
+    service = VettingService(
+        fitted_checker, cluster=ServerCluster(n_servers=1), cache=True
+    )
+    gen = CorpusGenerator(sdk, seed=508, catalog=catalog)
+    day1 = gen.generate(30)
+    report1 = service.process_day(day1)
+    assert report1.cache_hits == 0
+
+    engine = fitted_checker.production_engine
+    analyzed_before = engine.stats["analyzed"]
+    resubmitted = list(day1)[:20]
+    novel = [gen.sample_app(malicious=False) for _ in range(5)]
+    day2 = AppCorpus(sdk, resubmitted + novel)
+    report2 = service.process_day(day2)
+    assert report2.cache_hits == 20
+    # Only the 5 novel apps touched an emulator.
+    assert engine.stats["analyzed"] - analyzed_before == 5
+    # Cached verdicts match day 1's for the same apps.
+    day1_by_md5 = {v.apk_md5: v for v in report1.verdicts}
+    for verdict in report2.verdicts[:20]:
+        original = day1_by_md5[verdict.apk_md5]
+        assert verdict.malicious == original.malicious
+        assert verdict.probability == original.probability
+
+
+def test_process_day_without_cache_reemulates(service, sdk, catalog):
+    gen = CorpusGenerator(sdk, seed=509, catalog=catalog)
+    day = gen.generate(10)
+    r1 = service.process_day(day)
+    r2 = service.process_day(day)
+    assert r1.cache_hits == 0 and r2.cache_hits == 0
+
+
 def test_throughput_scales_with_slots(service, sdk, catalog):
     gen = CorpusGenerator(sdk, seed=502, catalog=catalog)
     day = gen.generate(120)

@@ -71,6 +71,38 @@ def test_empty_schedule():
     assert report.utilization == 0.0
 
 
+def test_empty_schedule_throughput_is_zero():
+    """Regression: zero-task batches reported infinite throughput."""
+    report = ServerCluster().schedule([])
+    assert report.throughput_per_day() == 0.0
+
+
+def test_zero_duration_tasks_report_zero_throughput():
+    report = ServerCluster().schedule([0.0, 0.0, 0.0])
+    assert report.makespan_minutes == 0.0
+    assert report.throughput_per_day() == 0.0
+    assert report.utilization == 0.0
+
+
+def test_from_executed_matches_recorded_tasks():
+    from repro.emulator.cluster import ScheduledTask, ScheduleReport
+
+    tasks = [
+        ScheduledTask(app_index=0, server=0, slot=0,
+                      start_minute=0.0, end_minute=2.0),
+        ScheduledTask(app_index=1, server=0, slot=1,
+                      start_minute=0.0, end_minute=1.0),
+        ScheduledTask(app_index=2, server=0, slot=1,
+                      start_minute=1.0, end_minute=4.0),
+    ]
+    report = ScheduleReport.from_executed(tasks, n_slots=2,
+                                          slots_per_server=16)
+    assert report.executed
+    assert report.makespan_minutes == 4.0
+    assert report.slot_busy_minutes.tolist() == [2.0, 4.0]
+    assert report.throughput_per_day() == pytest.approx(3 * 1440 / 4.0)
+
+
 def test_negative_duration_rejected():
     with pytest.raises(ValueError):
         ServerCluster().schedule([-1.0])

@@ -9,7 +9,8 @@ layer and check the system degrades the way the paper describes.
 import numpy as np
 import pytest
 
-from repro.core.engine import DynamicAnalysisEngine
+from repro.core.engine import AnalysisFailure, DynamicAnalysisEngine
+from repro.core.pipeline import VettingPipeline
 from repro.emulator.backends import (
     EmulatorCrash,
     GoogleEmulator,
@@ -122,3 +123,180 @@ def test_corrupt_observation_rejected_by_encoder(sdk, fitted_checker):
 def test_emulator_crash_is_runtime_error_subclass():
     assert issubclass(EmulatorCrash, RuntimeError)
     assert issubclass(IncompatibleAppError, RuntimeError)
+    assert issubclass(AnalysisFailure, RuntimeError)
+
+
+# -- engine stats invariants ----------------------------------------------
+
+
+def test_stats_invariant_covers_exhausted_apps(sdk, generator):
+    """Regression: apps that exhaust every backend vanished from the
+    stats entirely; now analyzed + failures == submissions always."""
+
+    class Broken(GoogleEmulator):
+        def crash_probability(self, apk):
+            return 1.0
+
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=Broken(), fallback=None, max_retries=0, seed=6
+    )
+    apps = [generator.sample_app(malicious=False) for _ in range(5)]
+    failures = 0
+    for apk in apps:
+        try:
+            engine.analyze(apk)
+        except AnalysisFailure:
+            failures += 1
+    assert failures == 5
+    assert engine.stats["submissions"] == 5
+    assert engine.stats["failures"] == 5
+    assert engine.stats["analyzed"] == 0
+    assert (
+        engine.stats["analyzed"] + engine.stats["failures"]
+        == engine.stats["submissions"]
+    )
+
+
+def test_stats_invariant_on_mixed_outcomes(sdk, generator):
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=FlakyBackend(n_failures=2), fallback=None,
+        max_retries=0, seed=7,
+    )
+    apps = [generator.sample_app(malicious=False) for _ in range(6)]
+    outcomes = []
+    for apk in apps:
+        try:
+            outcomes.append(engine.analyze(apk))
+        except AnalysisFailure:
+            outcomes.append(None)
+    assert engine.stats["submissions"] == 6
+    assert (
+        engine.stats["analyzed"] + engine.stats["failures"]
+        == engine.stats["submissions"]
+    )
+    assert engine.stats["analyzed"] == sum(
+        1 for o in outcomes if o is not None
+    )
+
+
+# -- parallel crash injection ---------------------------------------------
+
+
+class CrashProneBackend(LightweightEmulator):
+    """Every attempt crashes with the forced probability (rng-driven,
+    so outcomes are a pure function of the per-app stream)."""
+
+    def __init__(self, rate):
+        super().__init__()
+        self.rate = rate
+
+    def crash_probability(self, apk):
+        return self.rate
+
+
+class SelectiveBackend(LightweightEmulator):
+    """Deterministically rejects a slice of the md5 space."""
+
+    def compatible(self, apk):
+        return int(apk.md5[:2], 16) % 3 != 0
+
+
+class AlwaysCrashing(GoogleEmulator):
+    def crash_probability(self, apk):
+        return 1.0
+
+
+@pytest.fixture()
+def day(generator):
+    return [generator.sample_app(malicious=bool(i % 4 == 0))
+            for i in range(24)]
+
+
+def test_parallel_requeue_matches_sequential_under_crashes(sdk, day):
+    def build():
+        return DynamicAnalysisEngine(
+            sdk,
+            [],
+            primary=CrashProneBackend(rate=0.5),
+            fallback=GoogleEmulator(),
+            max_retries=1,
+            seed=8,
+        )
+
+    sequential = build().analyze_corpus(day)
+    engine = build()
+    result = VettingPipeline(engine, workers=6).run(day)
+    assert not result.failures
+    assert [a.observation for a in result.analyses] == [
+        a.observation for a in sequential
+    ]
+    # With a 50% crash rate some apps must have been requeued, and the
+    # crash counter agrees between execution modes.
+    assert result.requeues > 0
+    assert engine.stats["crashes"] > 0
+    assert (
+        engine.stats["analyzed"] + engine.stats["failures"]
+        == engine.stats["submissions"]
+        == len(day)
+    )
+
+
+def test_parallel_fallback_on_incompatible_apps(sdk, day):
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=SelectiveBackend(), fallback=GoogleEmulator(),
+        seed=9,
+    )
+    result = VettingPipeline(engine, workers=5).run(day)
+    assert not result.failures
+    rejected = [a for a in day if not SelectiveBackend().compatible(a)]
+    fell_back = [r for r in result.analyses if r.fell_back]
+    assert len(fell_back) >= len(rejected) > 0
+    for apk, analysis in zip(day, result.analyses):
+        if not SelectiveBackend().compatible(apk):
+            assert analysis.fell_back
+            assert analysis.result.backend_name == "google-emulator"
+
+
+def test_parallel_all_backends_failed_is_isolated(sdk, day):
+    """A poisoned app must not take the batch down: the pipeline
+    records the failure and every other app still completes."""
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=AlwaysCrashing(), fallback=None,
+        max_retries=0, seed=10,
+    )
+    result = VettingPipeline(engine, workers=4).run(day)
+    assert len(result.failures) == len(day)
+    assert all(a is None for a in result.analyses)
+    assert result.observations == []
+    assert engine.stats["failures"] == len(day)
+    assert (
+        engine.stats["analyzed"] + engine.stats["failures"]
+        == engine.stats["submissions"]
+    )
+    for failure in result.failures:
+        assert "all backends failed" in failure.reason
+
+
+def test_parallel_partial_failures_keep_indices_aligned(sdk, day):
+    """Failed apps leave holes at their indices, never shift others."""
+
+    class CrashForSomeApps(GoogleEmulator):
+        def crash_probability(self, apk):
+            return 1.0 if int(apk.md5[:2], 16) % 4 == 0 else 0.0
+
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=CrashForSomeApps(), fallback=None,
+        max_retries=0, seed=11,
+    )
+    result = VettingPipeline(engine, workers=6).run(day)
+    doomed = {i for i, a in enumerate(day)
+              if int(a.md5[:2], 16) % 4 == 0}
+    assert doomed, "expected at least one doomed app in the sample"
+    failed = {f.app_index for f in result.failures}
+    assert failed == doomed
+    for i, analysis in enumerate(result.analyses):
+        if i in doomed:
+            assert analysis is None
+        else:
+            assert analysis is not None
+            assert analysis.observation.apk_md5 == day[i].md5

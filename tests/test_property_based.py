@@ -29,8 +29,15 @@ def test_confusion_counts_sum_to_n(y, seed):
     rep = ClassificationReport(tp, fp, tn, fn)
     assert 0.0 <= rep.precision <= 1.0
     assert 0.0 <= rep.recall <= 1.0
-    assert min(rep.precision, rep.recall) <= rep.f1 <= max(
-        rep.precision, rep.recall
+    # F1 lies between precision and recall, up to float rounding (when
+    # precision == recall their harmonic mean equals them exactly in
+    # real arithmetic but not in binary64: e.g. tp=2 fp=3 fn=3 gives
+    # f1 = 0.4000000000000001 > 0.4).
+    eps = 1e-12
+    assert (
+        min(rep.precision, rep.recall) - eps
+        <= rep.f1
+        <= max(rep.precision, rep.recall) + eps
     ) or rep.f1 == 0.0
 
 
