@@ -1,0 +1,95 @@
+"""Observability overhead — instrumentation must be (nearly) free.
+
+The registry and span layer sit on every hot path (per-attempt, per
+task, per cache lookup), so their cost has to disappear next to the
+emulator-occupancy time that dominates the production regime.  This
+bench runs the 4-worker paced pipeline twice — once recording into a
+:class:`NullRegistry` (the uninstrumented baseline) and once into a
+full :class:`MetricsRegistry` plus an in-memory :class:`SpanSink` —
+and asserts the fully-instrumented run costs **< 5%** extra wall time.
+
+A micro section also prints raw registry op rates (counter increments
+and histogram observations per second) for profiling reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import DynamicAnalysisEngine
+from repro.core.pipeline import VettingPipeline
+from repro.obs import MetricsRegistry, NullRegistry, SpanSink
+
+#: Same slot-occupancy pacing as bench_pipeline_scaling.
+PACE = 0.008
+
+N_APPS = 200
+
+#: Registry micro-benchmark op count.
+MICRO_OPS = 100_000
+
+#: Maximum tolerated instrumentation overhead at 4 workers.
+MAX_OVERHEAD = 0.05
+
+
+def _paced_run(world, registry, sink):
+    engine = DynamicAnalysisEngine(
+        world.sdk,
+        tracked_api_ids=world.selection.key_api_ids,
+        seed=world.profile.seed + 31,
+        registry=registry,
+        sink=sink,
+    )
+    pipeline = VettingPipeline(
+        engine,
+        workers=4,
+        pace_seconds_per_minute=PACE,
+        registry=registry,
+        sink=sink,
+    )
+    apps = list(world.test)[:N_APPS]
+    t0 = time.perf_counter()
+    result = pipeline.run(apps)
+    wall = time.perf_counter() - t0
+    assert not result.failures
+    return wall
+
+
+def test_obs_overhead(world, once):
+    def run():
+        walls = {"null": [], "full": []}
+        # Interleave and keep the best of each variant so scheduler
+        # noise cannot masquerade as instrumentation cost.
+        for _ in range(2):
+            walls["null"].append(_paced_run(world, NullRegistry(), None))
+            walls["full"].append(
+                _paced_run(world, MetricsRegistry(), SpanSink())
+            )
+
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        for _ in range(MICRO_OPS):
+            registry.inc("bench_ops_total")
+        inc_rate = MICRO_OPS / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(MICRO_OPS):
+            registry.observe("bench_lat_seconds", 0.001)
+        observe_rate = MICRO_OPS / (time.perf_counter() - t0)
+        return walls, inc_rate, observe_rate
+
+    walls, inc_rate, observe_rate = once(run)
+    base, full = min(walls["null"]), min(walls["full"])
+    overhead = full / base - 1.0
+
+    print(f"\nObservability overhead over {N_APPS} apps, 4 workers "
+          f"(pace {PACE}s per simulated minute):")
+    print(f"  uninstrumented (NullRegistry): {base:6.2f}s wall")
+    print(f"  instrumented (registry+sink):  {full:6.2f}s wall  "
+          f"overhead {overhead * 100:+.1f}%")
+    print(f"  registry micro: {inc_rate / 1e6:.2f}M inc/s, "
+          f"{observe_rate / 1e6:.2f}M observe/s")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%}"
+    )

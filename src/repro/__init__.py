@@ -23,7 +23,7 @@ paper-vs-measured record of every table and figure.
 from repro.android.apk import Apk
 from repro.android.sdk import AndroidSdk, ApiMethod, SdkSpec
 from repro.core.checker import ApiChecker, VetVerdict
-from repro.core.engine import DynamicAnalysisEngine
+from repro.core.engine import DynamicAnalysisEngine, EngineStats
 from repro.core.evolution import EvolutionLoop
 from repro.core.features import AppObservation, FeatureMode, FeatureSpace
 from repro.core.pipeline import ObservationCache, VettingPipeline
@@ -33,8 +33,14 @@ from repro.core.vetting import VettingService
 from repro.corpus.generator import AppCorpus, CorpusGenerator
 from repro.corpus.market import MarketStream, ReviewPipeline, TMarket
 from repro.ml.forest import RandomForest
+from repro.obs import (
+    MetricsRegistry,
+    SpanSink,
+    default_registry,
+    span,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AndroidSdk",
@@ -45,19 +51,24 @@ __all__ = [
     "AppObservation",
     "CorpusGenerator",
     "DynamicAnalysisEngine",
+    "EngineStats",
     "EvolutionLoop",
     "FeatureMode",
     "FeatureSpace",
     "KeyApiSelection",
     "MarketStream",
+    "MetricsRegistry",
     "ObservationCache",
     "RandomForest",
     "ReviewPipeline",
     "SdkSpec",
+    "SpanSink",
     "TMarket",
     "TriageCenter",
     "VetVerdict",
     "VettingPipeline",
     "VettingService",
+    "default_registry",
     "select_key_apis",
+    "span",
 ]

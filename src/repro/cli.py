@@ -5,9 +5,12 @@ Commands:
 * ``demo`` — train APICHECKER on a synthetic market and vet fresh
   submissions, printing the headline metrics.
 * ``vet`` — train, vet, and write the analysis log (JSON lines) for
-  offline auditing/retraining.
+  offline auditing/retraining; ``--metrics-out`` snapshots the run's
+  metrics registry as JSON and ``--trace-out`` streams span events.
 * ``evolve`` — run N months of monthly retraining and print the
   Fig. 12 / Fig. 14 series.
+* ``metrics`` — render a metrics snapshot (or a fresh instrumented
+  demo run) as JSON or Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -49,21 +52,48 @@ def build_parser() -> argparse.ArgumentParser:
     vet.add_argument("--cache", default=None,
                      help="JSON-lines observation cache; resubmitted "
                           "md5s skip re-emulation")
+    vet.add_argument("--metrics-out", default=None,
+                     help="write the run's metrics-registry snapshot "
+                          "to this JSON file")
+    vet.add_argument("--trace-out", default=None,
+                     help="write structured span events (JSON lines) "
+                          "to this file")
 
     evolve = sub.add_parser("evolve", help="monthly model evolution")
     _add_common(evolve)
     evolve.add_argument("--months", type=int, default=6)
     evolve.add_argument("--per-month", type=int, default=250)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot as JSON or Prometheus text",
+    )
+    metrics.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="a --metrics-out JSON snapshot to render; omitted: run a "
+             "small instrumented vetting pass and render its registry",
+    )
+    metrics.add_argument("--format", choices=("json", "prom"),
+                         default="json")
+    _add_common(metrics)
+    metrics.add_argument("--fresh", type=int, default=120,
+                         help="submissions for the built-in demo run "
+                              "(ignored with a snapshot file)")
+    # The built-in demo run only needs to populate a registry; keep it
+    # an order of magnitude lighter than a real vet run.
+    metrics.set_defaults(apis=1000, train=300)
     return parser
 
 
-def _build_and_fit(args):
+def _build_and_fit(args, registry=None, sink=None):
     from repro import AndroidSdk, ApiChecker, CorpusGenerator, SdkSpec
 
     sdk = AndroidSdk.generate(SdkSpec(n_apis=args.apis, seed=args.seed))
     generator = CorpusGenerator(sdk, seed=args.seed + 1)
     train = generator.generate(args.train)
-    checker = ApiChecker(sdk, seed=args.seed + 2).fit(train)
+    checker = ApiChecker(
+        sdk, seed=args.seed + 2, registry=registry, sink=sink
+    ).fit(train)
     return sdk, generator, checker
 
 
@@ -86,16 +116,26 @@ def cmd_demo(args) -> int:
 
 
 def cmd_vet(args) -> int:
+    from pathlib import Path
+
     from repro.core.pipeline import ObservationCache, VettingPipeline
     from repro.core.reporting import write_log
+    from repro.obs import MetricsRegistry, SpanSink
 
-    sdk, generator, checker = _build_and_fit(args)
+    registry = MetricsRegistry()
+    sink = SpanSink(args.trace_out) if args.trace_out else None
+    sdk, generator, checker = _build_and_fit(args, registry, sink)
     fresh = generator.generate(args.fresh)
     cache = ObservationCache(args.cache) if args.cache else None
     pipeline = VettingPipeline(
-        checker.production_engine, workers=args.workers, cache=cache
+        checker.production_engine, workers=args.workers, cache=cache,
+        registry=registry, sink=sink,
     )
     result = pipeline.run(fresh)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            registry.to_json(), encoding="utf-8"
+        )
     if result.failures:
         print(f"{len(result.failures)} apps failed every backend",
               file=sys.stderr)
@@ -112,12 +152,11 @@ def cmd_vet(args) -> int:
     n = write_log(args.log, observations, verdicts)
     flagged = sum(v.malicious for v in verdicts)
     print(f"wrote {n} analysis records to {args.log} ({flagged} flagged)")
-    print(
-        f"pipeline: {result.workers} workers, "
-        f"makespan {result.schedule.makespan_minutes:.1f} simulated min, "
-        f"{result.requeues} requeues, "
-        f"{result.cache_hits} cache hits / {result.cache_misses} misses"
-    )
+    print(f"pipeline: {result.summary()}")
+    if args.metrics_out:
+        print(f"metrics snapshot: {args.metrics_out}")
+    if args.trace_out:
+        print(f"span trace: {args.trace_out} ({sink.emitted} events)")
     return 0
 
 
@@ -146,9 +185,46 @@ def cmd_evolve(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    from repro.core.pipeline import VettingPipeline
+    from repro.obs import MetricsRegistry
+
+    if args.snapshot is not None:
+        registry = MetricsRegistry.from_json(
+            Path(args.snapshot).read_text(encoding="utf-8")
+        )
+    else:
+        # No snapshot: run a small instrumented vetting pass so the
+        # exposition shows the full engine/pipeline/cluster/ML surface.
+        registry = MetricsRegistry()
+        sdk, generator, checker = _build_and_fit(args, registry)
+        fresh = generator.generate(args.fresh)
+        pipeline = VettingPipeline(
+            checker.production_engine, workers=args.workers
+            if hasattr(args, "workers") else None, registry=registry,
+        )
+        result = pipeline.run(fresh)
+        if result.failures:
+            print(f"{len(result.failures)} apps failed every backend",
+                  file=sys.stderr)
+            return 1
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(registry.to_json())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"demo": cmd_demo, "vet": cmd_vet, "evolve": cmd_evolve}
+    handlers = {
+        "demo": cmd_demo,
+        "vet": cmd_vet,
+        "evolve": cmd_evolve,
+        "metrics": cmd_metrics,
+    }
     return handlers[args.command](args)
 
 

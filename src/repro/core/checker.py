@@ -31,6 +31,7 @@ from repro.emulator.device import DeviceEnvironment
 from repro.ml.base import Classifier
 from repro.ml.forest import RandomForest
 from repro.ml.metrics import ClassificationReport, evaluate
+from repro.obs import MetricsRegistry, SpanSink
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,11 @@ class ApiChecker:
         env: device environment (default: hardened emulator).
         decision_threshold: probability above which an app is flagged.
         seed: seed for engines and model.
+        registry: when given, every engine this checker builds and the
+            fitted classifier record their telemetry into this one
+            registry (the unified stats surface the CLI snapshots);
+            when None each engine keeps a private registry.
+        sink: optional span sink threaded through to the engines.
     """
 
     def __init__(
@@ -70,6 +76,8 @@ class ApiChecker:
         env: DeviceEnvironment | None = None,
         decision_threshold: float = 0.5,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        sink: SpanSink | None = None,
     ):
         if not 0.0 < decision_threshold < 1.0:
             raise ValueError("decision_threshold must be in (0, 1)")
@@ -83,6 +91,8 @@ class ApiChecker:
         self.env = env or DeviceEnvironment.hardened_emulator()
         self.decision_threshold = decision_threshold
         self.seed = seed
+        self.registry = registry
+        self.sink = sink
         self.selection: KeyApiSelection | None = None
         self.feature_space: FeatureSpace | None = None
         self.classifier: Classifier | None = None
@@ -102,6 +112,8 @@ class ApiChecker:
             env=self.env,
             monkey_events=self.monkey_events,
             seed=self.seed,
+            registry=self.registry,
+            sink=self.sink,
         )
 
     def fit(
@@ -144,6 +156,10 @@ class ApiChecker:
         )
         X = self.feature_space.encode_batch(study_observations)
         self.classifier = self.classifier_factory()
+        if self.registry is not None and hasattr(
+            self.classifier, "bind_registry"
+        ):
+            self.classifier.bind_registry(self.registry)
         self.classifier.fit(X, labels.astype(np.int8))
         self._prod_engine = DynamicAnalysisEngine(
             self.sdk,
@@ -155,6 +171,8 @@ class ApiChecker:
             env=self.env,
             monkey_events=self.monkey_events,
             seed=self.seed + 1,
+            registry=self.registry,
+            sink=self.sink,
         )
         return self
 

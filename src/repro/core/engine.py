@@ -16,7 +16,7 @@ results to a sequential run.
 
 from __future__ import annotations
 
-import threading
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,9 +36,60 @@ from repro.emulator.device import DeviceEnvironment
 from repro.emulator.hooks import HookEngine
 from repro.emulator.monkey import MonkeyExerciser
 from repro.emulator.runtime import EmulationResult, emulate_app
+from repro.obs import (
+    DEFAULT_MINUTES_BUCKETS,
+    MetricsRegistry,
+    SpanSink,
+    span,
+)
 
 #: Sentinel distinguishing "use the default fallback" from "no fallback".
 _DEFAULT_FALLBACK = object()
+
+#: Counter keys the engine maintains (registry names: ``engine_<key>_total``).
+ENGINE_STAT_KEYS = ("submissions", "analyzed", "crashes", "fallbacks",
+                    "failures")
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Typed snapshot of one engine's counters, backed by its registry.
+
+    Replaces the raw ``engine.stats`` dict (still available as a
+    deprecated view).  The invariant the reliability story rests on:
+    every submission ends up analyzed or failed —
+    ``analyzed + failures <= submissions`` at all times, with equality
+    once no analysis is in flight.
+    """
+
+    submissions: int
+    analyzed: int
+    crashes: int
+    fallbacks: int
+    failures: int
+    crash_waste_minutes: float = 0.0
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "EngineStats":
+        return cls(
+            submissions=int(registry.value("engine_submissions_total")),
+            analyzed=int(registry.value("engine_analyzed_total")),
+            crashes=int(registry.value("engine_crashes_total")),
+            fallbacks=int(registry.value("engine_fallbacks_total")),
+            failures=int(registry.value("engine_failures_total")),
+            crash_waste_minutes=float(
+                registry.value("engine_crash_waste_minutes_total")
+            ),
+        )
+
+    @property
+    def settled(self) -> bool:
+        """True when every submission reached a terminal outcome."""
+        return self.analyzed + self.failures == self.submissions
+
+    def as_dict(self) -> dict[str, int]:
+        """The legacy ``engine.stats`` dict shape."""
+        return {key: getattr(self, key) for key in ENGINE_STAT_KEYS}
 
 
 class AnalysisFailure(RuntimeError):
@@ -103,6 +154,11 @@ class DynamicAnalysisEngine:
         monkey_events: UI events per app (paper: 5K).
         max_retries: crash retries per backend before falling back.
         seed: rng seed for all stochastic parts.
+        registry: metrics registry all counters/histograms land in
+            (default: a fresh private registry, so each engine's counts
+            stay exact in isolation; thread a shared registry through
+            to unify pipeline/service/ML telemetry).
+        sink: optional span sink receiving per-analysis trace events.
     """
 
     def __init__(
@@ -115,6 +171,8 @@ class DynamicAnalysisEngine:
         monkey_events: int = 5000,
         max_retries: int = 1,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        sink: SpanSink | None = None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -128,14 +186,8 @@ class DynamicAnalysisEngine:
         self.monkey = MonkeyExerciser(n_events=monkey_events, seed=seed)
         self.max_retries = max_retries
         self.seed = seed
-        self._stats_lock = threading.Lock()
-        self.stats = {
-            "submissions": 0,
-            "analyzed": 0,
-            "crashes": 0,
-            "fallbacks": 0,
-            "failures": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink
 
     @property
     def tracked_api_ids(self) -> np.ndarray:
@@ -152,8 +204,27 @@ class DynamicAnalysisEngine:
         return np.random.default_rng([self.seed, int(apk.md5[:16], 16)])
 
     def _bump(self, key: str, by: int = 1) -> None:
-        with self._stats_lock:
-            self.stats[key] += by
+        self.registry.inc(f"engine_{key}_total", by)
+
+    @property
+    def stats_view(self) -> EngineStats:
+        """Typed counter snapshot (the replacement for ``stats``)."""
+        return EngineStats.from_registry(self.registry)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Deprecated dict view of the engine counters.
+
+        Kept for one release; use :attr:`stats_view` (typed) or query
+        ``engine.registry`` directly.
+        """
+        warnings.warn(
+            "DynamicAnalysisEngine.stats is deprecated; use "
+            "engine.stats_view (EngineStats) or engine.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats_view.as_dict()
 
     def crash_waste_minutes(self) -> float:
         """Simulated time a crashed attempt burns before detection.
@@ -190,18 +261,39 @@ class DynamicAnalysisEngine:
             EmulatorCrash: the run crashed (counted in ``stats``).
         """
         try:
-            return emulate_app(
-                apk,
-                self.sdk,
-                backend,
-                self.env,
-                self.hooks,
-                monkey=self.monkey,
-                rng=rng,
-            )
+            with span(
+                "engine_attempt",
+                registry=self.registry,
+                sink=self.sink,
+                backend=backend.name,
+                md5=apk.md5,
+            ):
+                result = emulate_app(
+                    apk,
+                    self.sdk,
+                    backend,
+                    self.env,
+                    self.hooks,
+                    monkey=self.monkey,
+                    rng=rng,
+                )
         except EmulatorCrash:
             self._bump("crashes")
+            # A crashed run burns emulator-slot time before the
+            # SystemServer exception surfaces; account it here so both
+            # the sequential and the pipelined paths agree.
+            self.registry.inc(
+                "engine_crash_waste_minutes_total",
+                self.crash_waste_minutes(),
+            )
             raise
+        self.registry.observe(
+            "engine_emulation_minutes",
+            result.analysis_minutes,
+            buckets=DEFAULT_MINUTES_BUCKETS,
+            backend=backend.name,
+        )
+        return result
 
     def _finish(
         self,
@@ -254,30 +346,36 @@ class DynamicAnalysisEngine:
         wasted_minutes = 0.0
         fell_back = False
         last_error: Exception | None = None
-        for backend_i, backend in enumerate(self._attempt_chain()):
-            if backend_i > 0:
-                fell_back = True
-            for _ in range(self.max_retries + 1):
-                attempts += 1
-                try:
-                    result = self.attempt(apk, backend, rng)
-                except IncompatibleAppError as exc:
-                    last_error = exc
-                    break  # no point retrying on the same backend
-                except EmulatorCrash as exc:
-                    last_error = exc
-                    wasted_minutes += self.crash_waste_minutes()
-                    continue
-                return self._finish(
-                    apk, result, attempts, fell_back, wasted_minutes
-                )
-        self._bump("failures")
-        raise AnalysisFailure(
-            f"all backends failed for {apk.package_name}: {last_error}",
-            apk_md5=apk.md5,
-            attempts=attempts,
-            wasted_minutes=wasted_minutes,
-        )
+        with span(
+            "engine_analyze",
+            registry=self.registry,
+            sink=self.sink,
+            md5=apk.md5,
+        ):
+            for backend_i, backend in enumerate(self._attempt_chain()):
+                if backend_i > 0:
+                    fell_back = True
+                for _ in range(self.max_retries + 1):
+                    attempts += 1
+                    try:
+                        result = self.attempt(apk, backend, rng)
+                    except IncompatibleAppError as exc:
+                        last_error = exc
+                        break  # no point retrying on the same backend
+                    except EmulatorCrash as exc:
+                        last_error = exc
+                        wasted_minutes += self.crash_waste_minutes()
+                        continue
+                    return self._finish(
+                        apk, result, attempts, fell_back, wasted_minutes
+                    )
+            self._bump("failures")
+            raise AnalysisFailure(
+                f"all backends failed for {apk.package_name}: {last_error}",
+                apk_md5=apk.md5,
+                attempts=attempts,
+                wasted_minutes=wasted_minutes,
+            )
 
     def analyze_corpus(self, corpus: AppCorpus | list[Apk]) -> list[AppAnalysis]:
         """Analyze a batch of apps sequentially."""

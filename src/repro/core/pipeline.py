@@ -45,9 +45,54 @@ from repro.emulator.cluster import (
     ServerCluster,
 )
 from repro.emulator.runtime import EmulationResult
+from repro.obs import MetricsRegistry, SpanSink, record_span
 
 #: Cache file format marker (shares the analysis-log JSON-lines shape).
 CACHE_FORMAT_VERSION = 1
+
+#: Keys of the unified counts schema shared by :meth:`PipelineResult.as_dict`
+#: and :meth:`repro.core.vetting.DailyReport.as_dict` — one shape for every
+#: stats surface, sourced from the run's registry counters.
+UNIFIED_COUNT_KEYS = (
+    "submissions",
+    "analyzed",
+    "cached",
+    "failures",
+    "requeues",
+    "cache_hits",
+    "cache_misses",
+    "workers",
+    "makespan_minutes",
+    "throughput_per_day",
+    "wall_seconds",
+)
+
+
+def unified_counts(**values) -> dict:
+    """Build the unified stats dict, enforcing the shared schema."""
+    missing = [k for k in UNIFIED_COUNT_KEYS if k not in values]
+    extra = [k for k in values if k not in UNIFIED_COUNT_KEYS]
+    if missing or extra:
+        raise ValueError(
+            f"unified counts schema mismatch: missing={missing} "
+            f"extra={extra}"
+        )
+    return {key: values[key] for key in UNIFIED_COUNT_KEYS}
+
+
+def render_summary(counts: dict) -> str:
+    """One-line operational summary of a unified counts dict."""
+    return (
+        f"{counts['submissions']} submissions: "
+        f"{counts['analyzed']} analyzed, {counts['cached']} cached, "
+        f"{counts['failures']} failed | {counts['requeues']} requeues | "
+        f"cache {counts['cache_hits']}/"
+        f"{counts['cache_hits'] + counts['cache_misses']} hits | "
+        f"{counts['workers']} workers, "
+        f"makespan {counts['makespan_minutes']:.1f} sim-min, "
+        f"{counts['throughput_per_day']:.0f} apps/day, "
+        f"wall {counts['wall_seconds']:.2f}s"
+    )
 
 
 class ObservationCache:
@@ -199,6 +244,26 @@ class PipelineResult:
     def n_cached(self) -> int:
         return sum(1 for a in self.analyses if a is not None and a.from_cache)
 
+    def as_dict(self) -> dict:
+        """Unified counts (same schema as ``DailyReport.as_dict``)."""
+        return unified_counts(
+            submissions=len(self.analyses),
+            analyzed=self.n_analyzed,
+            cached=self.n_cached,
+            failures=len(self.failures),
+            requeues=self.requeues,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            workers=self.workers,
+            makespan_minutes=self.schedule.makespan_minutes,
+            throughput_per_day=self.schedule.throughput_per_day(),
+            wall_seconds=self.wall_seconds,
+        )
+
+    def summary(self) -> str:
+        """One-line operational summary (same shape as DailyReport's)."""
+        return render_summary(self.as_dict())
+
 
 @dataclass
 class _AppTask:
@@ -215,6 +280,7 @@ class _AppTask:
     backoff_minutes: float = 0.0
     submitted: bool = False
     last_error: str = ""
+    enqueued_wall: float = 0.0
 
 
 class VettingPipeline:
@@ -235,6 +301,11 @@ class VettingPipeline:
             simulation flat out; benchmarks set it >0 to reproduce the
             emulator-occupancy-bound regime the production server
             operates in, where parallel slots buy real wall-clock time.
+        registry: metrics registry the pipeline records into (default:
+            the engine's registry, so engine and pipeline telemetry
+            land in one place).
+        sink: optional span sink for structured trace events (default:
+            the engine's sink).
     """
 
     def __init__(
@@ -246,6 +317,8 @@ class VettingPipeline:
         base_backoff_minutes: float = 0.25,
         max_backoff_minutes: float = 4.0,
         pace_seconds_per_minute: float = 0.0,
+        registry: MetricsRegistry | None = None,
+        sink: SpanSink | None = None,
     ):
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
@@ -261,6 +334,8 @@ class VettingPipeline:
         self.base_backoff_minutes = base_backoff_minutes
         self.max_backoff_minutes = max_backoff_minutes
         self.pace_seconds_per_minute = pace_seconds_per_minute
+        self.registry = registry if registry is not None else engine.registry
+        self.sink = sink if sink is not None else engine.sink
 
     # ------------------------------------------------------------------
     # Worker side: one emulation attempt
@@ -270,17 +345,28 @@ class VettingPipeline:
         """Run one attempt of one app on its current backend."""
         backend = self.engine.attempt_chain[task.backend_pos]
         pace = self.pace_seconds_per_minute
+        queue_wait = time.perf_counter() - task.enqueued_wall
+        self.registry.observe("pipeline_queue_wait_seconds", queue_wait)
+        started = time.perf_counter()
         try:
-            result = self.engine.attempt(task.apk, backend, task.rng)
-        except IncompatibleAppError as exc:
-            return "incompatible", str(exc)
-        except EmulatorCrash as exc:
+            try:
+                result = self.engine.attempt(task.apk, backend, task.rng)
+            except IncompatibleAppError as exc:
+                return "incompatible", str(exc)
+            except EmulatorCrash as exc:
+                if pace:
+                    time.sleep(self.engine.crash_waste_minutes() * pace)
+                return "crash", str(exc)
             if pace:
-                time.sleep(self.engine.crash_waste_minutes() * pace)
-            return "crash", str(exc)
-        if pace:
-            time.sleep(result.analysis_minutes * pace)
-        return "ok", result
+                time.sleep(result.analysis_minutes * pace)
+            return "ok", result
+        finally:
+            # Slot-occupancy wall time of this attempt (pace included).
+            self.registry.observe(
+                "pipeline_attempt_seconds",
+                time.perf_counter() - started,
+                backend=backend.name,
+            )
 
     # ------------------------------------------------------------------
     # Dispatcher side
@@ -291,6 +377,8 @@ class VettingPipeline:
         apks = list(corpus)
         started = time.perf_counter()
         n = len(apks)
+        registry = self.registry
+        registry.inc("pipeline_submissions_total", n)
         analyses: list[AppAnalysis | None] = [None] * n
         failures: list[PipelineFailure] = []
         requeues = 0
@@ -307,7 +395,12 @@ class VettingPipeline:
         timeline: list[ScheduledTask] = []
 
         pending: deque[_AppTask] = deque(
-            _AppTask(index=i, apk=apk, rng=engine.rng_for(apk))
+            _AppTask(
+                index=i,
+                apk=apk,
+                rng=engine.rng_for(apk),
+                enqueued_wall=started,
+            )
             for i, apk in enumerate(apks)
         )
         # Apps deferred because an identical md5 is currently in flight.
@@ -337,11 +430,26 @@ class VettingPipeline:
                     end_minute=end,
                 )
             )
+            registry.inc("pipeline_analyzed_total")
+            # The executed slot interval, recorded as a simulated-clock
+            # span: throughput and occupancy figures derive from these
+            # records rather than from post-hoc estimates.
+            record_span(
+                "pipeline_task",
+                start,
+                end,
+                registry=registry,
+                sink=self.sink,
+                app_index=task.index,
+                slot=slot,
+                attempts=task.attempts,
+            )
             if self.cache is not None:
                 self.cache.put(analysis.observation)
 
         def record_failure(task: _AppTask) -> None:
             engine._bump("failures")
+            registry.inc("pipeline_failed_total")
             failures.append(
                 PipelineFailure(
                     app_index=task.index,
@@ -366,7 +474,13 @@ class VettingPipeline:
                     md5 = task.apk.md5
                     if self.cache is not None and task.attempts == 0:
                         cached = self.cache.get(md5)
+                        registry.inc(
+                            "pipeline_cache_hits_total"
+                            if cached is not None
+                            else "pipeline_cache_misses_total"
+                        )
                         if cached is not None:
+                            registry.inc("pipeline_cached_total")
                             analyses[task.index] = AppAnalysis(
                                 observation=cached,
                                 result=None,
@@ -413,15 +527,24 @@ class VettingPipeline:
                         continue
                     task.requeues += 1
                     requeues += 1
-                    task.backoff_minutes = min(
+                    registry.inc("pipeline_requeues_total")
+                    backoff = min(
                         self.max_backoff_minutes,
                         self.base_backoff_minutes
                         * 2 ** (task.requeues - 1),
-                    ) + task.backoff_minutes
+                    )
+                    registry.inc("pipeline_backoff_minutes_total", backoff)
+                    task.backoff_minutes += backoff
+                    task.enqueued_wall = time.perf_counter()
                     pending.append(task)
 
         schedule = ScheduleReport.from_executed(
             timeline, self.workers, slots_per_server
+        )
+        schedule.register_metrics(registry)
+        registry.set_gauge("pipeline_workers", self.workers)
+        registry.observe(
+            "pipeline_run_seconds", time.perf_counter() - started
         )
         hits = (self.cache.hits - hits_before) if self.cache is not None else 0
         misses = (

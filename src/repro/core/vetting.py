@@ -16,10 +16,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.checker import ApiChecker, VetVerdict
-from repro.core.pipeline import ObservationCache, VettingPipeline
+from repro.core.pipeline import (
+    ObservationCache,
+    VettingPipeline,
+    render_summary,
+    unified_counts,
+)
 from repro.core.triage import FalsePositiveReport, TriageCenter
 from repro.corpus.generator import AppCorpus
 from repro.emulator.cluster import ScheduleReport, ServerCluster
+from repro.obs import MetricsRegistry, SpanSink, span
 
 
 @dataclass(frozen=True)
@@ -39,6 +45,11 @@ class DailyReport:
         cache_hits: submissions served from the observation cache
             without re-emulation.
         requeues: crash/incompatibility requeues the pipeline handled.
+        n_analyzed: submissions that went through emulation.
+        n_cached: submissions served from the cache.
+        cache_misses: observation-cache misses this day.
+        wall_seconds: real elapsed time of the day's pipeline run.
+        workers: pipeline worker-pool size used.
     """
 
     n_apps: int
@@ -51,6 +62,11 @@ class DailyReport:
     fp_report: FalsePositiveReport | None = None
     cache_hits: int = 0
     requeues: int = 0
+    n_analyzed: int = 0
+    n_cached: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 0
 
     @property
     def throughput_per_day(self) -> float:
@@ -59,6 +75,34 @@ class DailyReport:
     @property
     def flagged_fraction(self) -> float:
         return self.n_flagged / self.n_apps if self.n_apps else 0.0
+
+    def as_dict(self) -> dict:
+        """Unified counts (same schema as ``PipelineResult.as_dict``).
+
+        A day's report and a raw pipeline run print through one shape,
+        so the CLI, the docs examples, and offline tooling all read the
+        same keys (plus a ``flagged`` entry only a classified day has).
+        """
+        counts = unified_counts(
+            submissions=self.n_apps,
+            analyzed=self.n_analyzed,
+            cached=self.n_cached,
+            failures=0,  # process_day raises when any backend fails
+            requeues=self.requeues,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            workers=self.workers,
+            makespan_minutes=self.schedule.makespan_minutes,
+            throughput_per_day=self.schedule.throughput_per_day(),
+            wall_seconds=self.wall_seconds,
+        )
+        counts["flagged"] = self.n_flagged
+        return counts
+
+    def summary(self) -> str:
+        """One-line operational summary (same shape as the pipeline's)."""
+        counts = self.as_dict()
+        return render_summary(counts) + f" | {counts['flagged']} flagged"
 
 
 class VettingService:
@@ -76,6 +120,11 @@ class VettingService:
             :class:`ObservationCache`, a persistence path, or ``True``
             for a fresh in-memory cache.  ``None`` disables caching and
             re-emulates every submission.
+        registry: metrics registry service/pipeline telemetry lands in
+            (default: the production engine's registry, so the whole
+            stack reports through one surface).
+        sink: optional span sink for per-day trace events (default:
+            the production engine's sink).
     """
 
     def __init__(
@@ -85,10 +134,18 @@ class VettingService:
         triage: TriageCenter | None = None,
         workers: int | None = None,
         cache: ObservationCache | str | Path | bool | None = None,
+        registry: MetricsRegistry | None = None,
+        sink: SpanSink | None = None,
     ):
         checker._require_fitted()
         self.checker = checker
         self.cluster = cluster or ServerCluster(n_servers=1)
+        self.registry = (
+            registry
+            if registry is not None
+            else checker.production_engine.registry
+        )
+        self.sink = sink if sink is not None else checker.production_engine.sink
         if triage is None:
             # Frequent keys (invoked by most apps, e.g. the negative-SRC
             # common-operation APIs) say nothing about attack capability
@@ -111,6 +168,8 @@ class VettingService:
             cluster=self.cluster,
             workers=workers,
             cache=self.cache,
+            registry=self.registry,
+            sink=self.sink,
         )
         self.days_processed = 0
 
@@ -128,21 +187,28 @@ class VettingService:
         """
         if len(submissions) == 0:
             raise ValueError("a vetting day needs at least one submission")
-        result = self.pipeline.run(submissions)
-        if result.failures:
-            detail = "; ".join(f.reason for f in result.failures[:3])
-            raise RuntimeError(
-                f"{len(result.failures)} submissions could not be "
-                f"analyzed by any backend: {detail}"
-            )
-        verdicts = [
-            self.checker.verdict_from_observation(
-                analysis.observation,
-                analysis_minutes=analysis.total_minutes,
-                fell_back=analysis.fell_back,
-            )
-            for analysis in result.analyses
-        ]
+        with span(
+            "service_process_day",
+            registry=self.registry,
+            sink=self.sink,
+            day=self.days_processed,
+            submissions=len(submissions),
+        ):
+            result = self.pipeline.run(submissions)
+            if result.failures:
+                detail = "; ".join(f.reason for f in result.failures[:3])
+                raise RuntimeError(
+                    f"{len(result.failures)} submissions could not be "
+                    f"analyzed by any backend: {detail}"
+                )
+            verdicts = [
+                self.checker.verdict_from_observation(
+                    analysis.observation,
+                    analysis_minutes=analysis.total_minutes,
+                    fell_back=analysis.fell_back,
+                )
+                for analysis in result.analyses
+            ]
         minutes = np.array([v.analysis_minutes for v in verdicts])
         fp_report = None
         if true_labels is not None:
@@ -150,9 +216,17 @@ class VettingService:
                 list(submissions), verdicts, np.asarray(true_labels)
             )
         self.days_processed += 1
+        n_flagged = sum(v.malicious for v in verdicts)
+        self.registry.inc("service_days_total")
+        self.registry.inc("service_submissions_total", len(submissions))
+        self.registry.inc("service_flagged_total", n_flagged)
+        self.registry.set_gauge(
+            "service_throughput_per_day",
+            result.schedule.throughput_per_day(),
+        )
         return DailyReport(
             n_apps=len(submissions),
-            n_flagged=sum(v.malicious for v in verdicts),
+            n_flagged=n_flagged,
             verdicts=tuple(verdicts),
             schedule=result.schedule,
             mean_minutes=float(minutes.mean()),
@@ -161,4 +235,9 @@ class VettingService:
             fp_report=fp_report,
             cache_hits=result.cache_hits,
             requeues=result.requeues,
+            n_analyzed=result.n_analyzed,
+            n_cached=result.n_cached,
+            cache_misses=result.cache_misses,
+            wall_seconds=result.wall_seconds,
+            workers=result.workers,
         )

@@ -17,6 +17,8 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro.obs import DEFAULT_MINUTES_BUCKETS, MetricsRegistry
+
 
 @dataclass(frozen=True)
 class ScheduledTask:
@@ -58,6 +60,34 @@ class ScheduleReport:
         if self.makespan_minutes <= 0:
             return 0.0
         return len(self.tasks) * (24 * 60) / self.makespan_minutes
+
+    def register_metrics(
+        self, registry: MetricsRegistry, prefix: str = "cluster"
+    ) -> None:
+        """Record this schedule's slot-occupancy figures into a registry.
+
+        Emits ``<prefix>_tasks_total`` / ``<prefix>_busy_minutes_total``
+        counters, per-slot busy-time observations into a
+        ``<prefix>_slot_busy_minutes`` histogram, and makespan /
+        utilization gauges — the occupancy surface the 16-emulator
+        server is operated by.
+        """
+        registry.inc(f"{prefix}_tasks_total", len(self.tasks))
+        registry.inc(
+            f"{prefix}_busy_minutes_total",
+            float(self.slot_busy_minutes.sum()),
+        )
+        for slot_busy in self.slot_busy_minutes:
+            registry.observe(
+                f"{prefix}_slot_busy_minutes",
+                float(slot_busy),
+                buckets=DEFAULT_MINUTES_BUCKETS,
+            )
+        registry.set_gauge(
+            f"{prefix}_makespan_minutes", self.makespan_minutes
+        )
+        registry.set_gauge(f"{prefix}_slot_utilization", self.utilization)
+        registry.set_gauge(f"{prefix}_slots", len(self.slot_busy_minutes))
 
     @classmethod
     def from_executed(

@@ -3,8 +3,52 @@
 from __future__ import annotations
 
 import abc
+import functools
+import threading
+import time
 
 import numpy as np
+
+from repro.obs import MetricsRegistry, default_registry
+
+_timing_guard = threading.local()
+
+
+def _timed(fn, metric: str):
+    """Wrap a Classifier method to record wall time into a registry.
+
+    The duration lands in a ``<metric>{classifier=...}`` histogram on
+    the instance's bound registry (:meth:`Classifier.bind_registry`),
+    falling back to the process-wide default.  Re-entrant calls (a
+    subclass delegating to ``super()``) record only the outermost
+    frame, so ensembles are not double-counted.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        active = getattr(_timing_guard, "active", None)
+        if active is None:
+            active = _timing_guard.active = set()
+        key = (id(self), metric)
+        if key in active:
+            return fn(self, *args, **kwargs)
+        active.add(key)
+        started = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            active.discard(key)
+            registry = getattr(self, "_obs_registry", None)
+            if registry is None:
+                registry = default_registry()
+            registry.observe(
+                metric,
+                time.perf_counter() - started,
+                classifier=getattr(self, "name", type(self).__name__),
+            )
+
+    wrapper._obs_wrapped = True
+    return wrapper
 
 
 def check_Xy(
@@ -44,6 +88,30 @@ class Classifier(abc.ABC):
 
     #: Human-readable name used in experiment tables.
     name: str = "classifier"
+
+    #: Registry fit/predict wall-times are recorded into (None: the
+    #: process-wide default).  Set via :meth:`bind_registry`.
+    _obs_registry: MetricsRegistry | None = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        for method, metric in (
+            ("fit", "ml_fit_seconds"),
+            ("predict_proba", "ml_predict_seconds"),
+        ):
+            fn = cls.__dict__.get(method)
+            if (
+                fn is not None
+                and callable(fn)
+                and not getattr(fn, "_obs_wrapped", False)
+                and not getattr(fn, "__isabstractmethod__", False)
+            ):
+                setattr(cls, method, _timed(fn, metric))
+
+    def bind_registry(self, registry: MetricsRegistry) -> "Classifier":
+        """Direct this model's timing metrics to ``registry``."""
+        self._obs_registry = registry
+        return self
 
     @abc.abstractmethod
     def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":

@@ -1,0 +1,39 @@
+"""repro.obs — dependency-free observability substrate.
+
+The measurement backbone for the production-scale deployment story
+(§5–6 of the paper): a thread-safe :class:`MetricsRegistry` (counters,
+gauges, fixed-bucket histograms) with JSON and Prometheus text
+exposition, plus :class:`span` timing context managers feeding a
+structured JSONL :class:`SpanSink`.
+
+Every instrumented layer (engine, pipeline, cluster, vetting service,
+classifiers) registers into one registry threaded through its
+constructor, defaulting to a per-component private registry so counts
+stay exact in isolation; :func:`default_registry` provides the
+process-wide instance the CLI exposes via ``repro metrics``.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_MINUTES_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.spans import SpanEvent, SpanSink, record_span, span
+
+__all__ = [
+    "DEFAULT_MINUTES_BUCKETS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanEvent",
+    "SpanSink",
+    "default_registry",
+    "record_span",
+    "set_default_registry",
+    "span",
+]

@@ -1,0 +1,395 @@
+"""Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is the single stats surface for a running
+system (engine + pipeline + cluster + service + models all register into
+the same instance).  It is dependency-free by design — plain stdlib —
+so every layer can import it without pulling in the analysis stack.
+
+Metric identity is ``(name, labels)``: the same metric name may carry
+several label sets (e.g. ``engine_emulation_minutes{backend="..."}``),
+mirroring the Prometheus data model.  Snapshots round-trip through
+:meth:`MetricsRegistry.as_dict` / :meth:`MetricsRegistry.from_dict`
+(the ``--metrics-out`` JSON file), and :meth:`to_prometheus` renders
+the standard text exposition format for scraping.
+
+A process-wide default registry (:func:`default_registry`) exists for
+code that does not thread an explicit registry through its
+constructors; components that need isolated counts (tests, multiple
+engines in one process) create their own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "HistogramSnapshot",
+    "default_registry",
+    "set_default_registry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_MINUTES_BUCKETS",
+]
+
+#: Default histogram buckets for wall-clock durations (seconds).
+DEFAULT_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0
+)
+
+#: Default histogram buckets for simulated analysis time (minutes).
+DEFAULT_MINUTES_BUCKETS = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0
+)
+
+_NAME_OK = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in key
+    )
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable view of one histogram series.
+
+    Attributes:
+        buckets: upper bounds (an implicit +Inf bucket follows).
+        counts: cumulative-free per-bucket counts, one per bound plus a
+            final overflow slot.
+        sum: total of observed values.
+        count: number of observations.
+    """
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass
+class _Histogram:
+    buckets: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.n += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(self.counts),
+            sum=self.total,
+            count=self.n,
+        )
+
+
+class MetricsRegistry:
+    """Counters, gauges, and fixed-bucket histograms behind one lock.
+
+    All mutation methods are safe to call concurrently from pipeline
+    workers.  Histogram buckets are fixed at first observation (pass
+    ``buckets=`` on the first :meth:`observe` to override the default
+    seconds buckets); later calls reuse the established bounds.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[LabelKey, float]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, _Histogram]] = {}
+        self._bucket_spec: dict[str, tuple[float, ...]] = {}
+
+    # -- mutation ------------------------------------------------------
+
+    def inc(self, name: str, by: float = 1.0, **labels: str) -> None:
+        """Increment a counter (created at 0 on first touch)."""
+        if by < 0:
+            raise ValueError("counters only go up; use a gauge")
+        _check_name(name)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + by
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge to an absolute value."""
+        _check_name(name)
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def add_gauge(self, name: str, delta: float, **labels: str) -> None:
+        """Move a gauge by a (possibly negative) delta."""
+        _check_name(name)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + float(delta)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> None:
+        """Record one histogram observation."""
+        _check_name(name)
+        key = _label_key(labels)
+        with self._lock:
+            spec = self._bucket_spec.get(name)
+            if spec is None:
+                spec = tuple(
+                    sorted(buckets or DEFAULT_SECONDS_BUCKETS)
+                )
+                if not spec:
+                    raise ValueError("histogram needs at least one bucket")
+                self._bucket_spec[name] = spec
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(buckets=spec)
+            hist.observe(float(value))
+
+    def reset(self) -> None:
+        """Drop every series (tests and process restarts)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._bucket_spec.clear()
+
+    # -- reads ---------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter or gauge (0.0 when absent)."""
+        key = _label_key(labels)
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].get(key, 0.0)
+            if name in self._gauges:
+                return self._gauges[name].get(key, 0.0)
+        return 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all of its label sets."""
+        with self._lock:
+            series = self._counters.get(name) or self._gauges.get(name) or {}
+            return float(sum(series.values()))
+
+    def histogram(
+        self, name: str, **labels: str
+    ) -> HistogramSnapshot | None:
+        """Snapshot one histogram series (None when absent)."""
+        key = _label_key(labels)
+        with self._lock:
+            hist = self._histograms.get(name, {}).get(key)
+            return hist.snapshot() if hist is not None else None
+
+    def histogram_count(self, name: str) -> int:
+        """Total observations of a histogram across all label sets."""
+        with self._lock:
+            return sum(
+                h.n for h in self._histograms.get(name, {}).values()
+            )
+
+    def histogram_sum(self, name: str) -> float:
+        """Total of observed values across all label sets."""
+        with self._lock:
+            return float(
+                sum(h.total for h in self._histograms.get(name, {}).values())
+            )
+
+    def counters(self) -> dict[str, float]:
+        """Flat ``{name: cross-label total}`` view of every counter."""
+        with self._lock:
+            return {
+                name: float(sum(series.values()))
+                for name, series in sorted(self._counters.items())
+            }
+
+    # -- exposition ----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every series."""
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": n, "labels": dict(k), "value": v}
+                    for n, series in sorted(self._counters.items())
+                    for k, v in sorted(series.items())
+                ],
+                "gauges": [
+                    {"name": n, "labels": dict(k), "value": v}
+                    for n, series in sorted(self._gauges.items())
+                    for k, v in sorted(series.items())
+                ],
+                "histograms": [
+                    {
+                        "name": n,
+                        "labels": dict(k),
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "sum": h.total,
+                        "count": h.n,
+                    }
+                    for n, series in sorted(self._histograms.items())
+                    for k, h in sorted(series.items())
+                ],
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot."""
+        reg = cls()
+        for entry in snapshot.get("counters", []):
+            reg.inc(entry["name"], entry["value"], **entry.get("labels", {}))
+        for entry in snapshot.get("gauges", []):
+            reg.set_gauge(
+                entry["name"], entry["value"], **entry.get("labels", {})
+            )
+        for entry in snapshot.get("histograms", []):
+            name = entry["name"]
+            key = _label_key(entry.get("labels", {}))
+            buckets = tuple(entry["buckets"])
+            with reg._lock:
+                reg._bucket_spec.setdefault(name, buckets)
+                hist = _Histogram(
+                    buckets=buckets,
+                    counts=list(entry["counts"]),
+                    total=float(entry["sum"]),
+                    n=int(entry["count"]),
+                )
+                reg._histograms.setdefault(name, {})[key] = hist
+        return reg
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_dict(json.loads(text))
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (v0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            for name, series in sorted(self._counters.items()):
+                lines.append(f"# TYPE {name} counter")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{_render_labels(key)} {value:g}")
+            for name, series in sorted(self._gauges.items()):
+                lines.append(f"# TYPE {name} gauge")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{_render_labels(key)} {value:g}")
+            for name, series in sorted(self._histograms.items()):
+                lines.append(f"# TYPE {name} histogram")
+                for key, hist in sorted(series.items()):
+                    cumulative = 0
+                    for bound, count in zip(hist.buckets, hist.counts):
+                        cumulative += count
+                        le = _label_key({"le": f"{bound:g}"})
+                        lines.append(
+                            f"{name}_bucket{_render_labels(key + le)} "
+                            f"{cumulative}"
+                        )
+                    cumulative += hist.counts[-1]
+                    le = _label_key({"le": "+Inf"})
+                    lines.append(
+                        f"{name}_bucket{_render_labels(key + le)} "
+                        f"{cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} {hist.total:g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {hist.n}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"<MetricsRegistry counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)}>"
+            )
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing.
+
+    Used by overhead benchmarks as the uninstrumented baseline, and by
+    callers that want to switch telemetry off without branching at
+    every call site.
+    """
+
+    def inc(self, name, by=1.0, **labels):  # noqa: D102
+        pass
+
+    def set_gauge(self, name, value, **labels):  # noqa: D102
+        pass
+
+    def add_gauge(self, name, delta, **labels):  # noqa: D102
+        pass
+
+    def observe(self, name, value, buckets=None, **labels):  # noqa: D102
+        pass
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (for code without an explicit one)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

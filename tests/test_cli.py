@@ -45,3 +45,80 @@ def test_evolve_command(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert out.count("\n") >= 3  # header + 2 months
+
+
+def test_vet_command_metrics_and_trace_out(tmp_path, capsys):
+    import json
+
+    from repro.obs import MetricsRegistry, SpanSink
+
+    log = tmp_path / "analysis.jsonl"
+    metrics = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.jsonl"
+    code = main(
+        ["vet", "--apis", "900", "--train", "220", "--fresh", "40",
+         "--seed", "3", "--log", str(log), "--workers", "4",
+         "--metrics-out", str(metrics), "--trace-out", str(trace)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "metrics snapshot:" in out
+    assert "span trace:" in out
+
+    snapshot = json.loads(metrics.read_text())
+    registry = MetricsRegistry.from_dict(snapshot)
+    counts = registry.counters()
+    # The acceptance invariant: every submission reached an outcome.
+    assert (
+        counts["pipeline_analyzed_total"]
+        + counts.get("pipeline_cached_total", 0)
+        + counts.get("pipeline_failed_total", 0)
+        == counts["pipeline_submissions_total"]
+        == 40
+    )
+    # The snapshot re-renders as Prometheus exposition.
+    assert "# TYPE pipeline_submissions_total counter" in \
+        registry.to_prometheus()
+    # ML wall-times landed in the same registry.
+    assert registry.histogram_count("ml_fit_seconds") >= 1
+
+    events = SpanSink.read(trace)
+    assert any(e.name == "pipeline_task" for e in events)
+    assert any(e.name == "engine_attempt" for e in events)
+
+
+def test_metrics_command_renders_snapshot(tmp_path, capsys):
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.inc("pipeline_submissions_total", 7)
+    reg.observe("lat_seconds", 0.5, buckets=(1.0,))
+    snap = tmp_path / "m.json"
+    snap.write_text(reg.to_json())
+
+    code = main(["metrics", str(snap), "--format", "prom"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE pipeline_submissions_total counter" in out
+    assert "pipeline_submissions_total 7" in out
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in out
+
+    code = main(["metrics", str(snap), "--format", "json"])
+    import json
+
+    rendered = json.loads(capsys.readouterr().out)
+    assert MetricsRegistry.from_dict(rendered).value(
+        "pipeline_submissions_total"
+    ) == 7
+
+
+def test_metrics_command_demo_run(capsys):
+    code = main(
+        ["metrics", "--format", "prom", "--apis", "900", "--train", "200",
+         "--fresh", "30", "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE engine_submissions_total counter" in out
+    assert "# TYPE pipeline_run_seconds histogram" in out
+    assert "# TYPE cluster_slot_utilization gauge" in out

@@ -21,10 +21,21 @@ def test_engine_analyzes_everything(sdk, corpus):
     engine = DynamicAnalysisEngine(sdk, sdk.restricted_api_ids, seed=1)
     analyses = engine.analyze_corpus(corpus.subset(range(40)))
     assert len(analyses) == 40
-    assert engine.stats["analyzed"] == 40
+    assert engine.stats_view.analyzed == 40
     for a in analyses:
         assert a.total_minutes > 0
         assert a.observation.apk_md5 == a.result.apk_md5
+
+
+def test_engine_stats_dict_is_deprecated(sdk, corpus):
+    engine = DynamicAnalysisEngine(sdk, [], seed=1)
+    engine.analyze_corpus(corpus.subset(range(3)))
+    with pytest.warns(DeprecationWarning, match="stats_view"):
+        legacy = engine.stats
+    # The dict view is generated from the registry, so it can never
+    # disagree with the typed view during the deprecation window.
+    assert legacy == engine.stats_view.as_dict()
+    assert legacy["analyzed"] == 3
 
 
 def test_engine_falls_back_on_incompatible(sdk, generator):
@@ -38,7 +49,7 @@ def test_engine_falls_back_on_incompatible(sdk, generator):
     analysis = engine.analyze(generator.sample_app(malicious=False))
     assert analysis.fell_back
     assert analysis.result.backend_name == "google-emulator"
-    assert engine.stats["fallbacks"] == 1
+    assert engine.stats_view.fallbacks == 1
 
 
 def test_engine_retries_on_crash(sdk, generator):
@@ -55,7 +66,7 @@ def test_engine_retries_on_crash(sdk, generator):
     )
     analysis = engine.analyze(generator.sample_app(malicious=False))
     assert analysis.attempts == 2
-    assert engine.stats["crashes"] == 1
+    assert engine.stats_view.crashes == 1
     # Wasted crash time is charged to the analysis.
     assert analysis.total_minutes > analysis.result.analysis_minutes
 

@@ -64,14 +64,14 @@ def test_second_day_served_from_cache(fitted_checker, sdk, catalog):
     assert report1.cache_hits == 0
 
     engine = fitted_checker.production_engine
-    analyzed_before = engine.stats["analyzed"]
+    analyzed_before = engine.stats_view.analyzed
     resubmitted = list(day1)[:20]
     novel = [gen.sample_app(malicious=False) for _ in range(5)]
     day2 = AppCorpus(sdk, resubmitted + novel)
     report2 = service.process_day(day2)
     assert report2.cache_hits == 20
     # Only the 5 novel apps touched an emulator.
-    assert engine.stats["analyzed"] - analyzed_before == 5
+    assert engine.stats_view.analyzed - analyzed_before == 5
     # Cached verdicts match day 1's for the same apps.
     day1_by_md5 = {v.apk_md5: v for v in report1.verdicts}
     for verdict in report2.verdicts[:20]:

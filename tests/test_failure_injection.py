@@ -70,7 +70,7 @@ def test_every_app_analyzed_despite_refusing_primary(sdk, generator):
     analyses = engine.analyze_corpus(apps)
     assert len(analyses) == 10
     assert all(a.fell_back for a in analyses)
-    assert engine.stats["fallbacks"] == 10
+    assert engine.stats_view.fallbacks == 10
 
 
 def test_refusing_primary_without_fallback_raises(sdk, generator):
@@ -88,7 +88,7 @@ def test_crash_stats_accumulate(sdk, generator):
         max_retries=2, seed=5,
     )
     engine.analyze(generator.sample_app(malicious=False))
-    assert engine.stats["crashes"] == 3
+    assert engine.stats_view.crashes == 3
 
 
 def test_checker_vet_survives_flaky_production_engine(
@@ -148,12 +148,12 @@ def test_stats_invariant_covers_exhausted_apps(sdk, generator):
         except AnalysisFailure:
             failures += 1
     assert failures == 5
-    assert engine.stats["submissions"] == 5
-    assert engine.stats["failures"] == 5
-    assert engine.stats["analyzed"] == 0
+    assert engine.stats_view.submissions == 5
+    assert engine.stats_view.failures == 5
+    assert engine.stats_view.analyzed == 0
     assert (
-        engine.stats["analyzed"] + engine.stats["failures"]
-        == engine.stats["submissions"]
+        engine.stats_view.analyzed + engine.stats_view.failures
+        == engine.stats_view.submissions
     )
 
 
@@ -169,12 +169,12 @@ def test_stats_invariant_on_mixed_outcomes(sdk, generator):
             outcomes.append(engine.analyze(apk))
         except AnalysisFailure:
             outcomes.append(None)
-    assert engine.stats["submissions"] == 6
+    assert engine.stats_view.submissions == 6
     assert (
-        engine.stats["analyzed"] + engine.stats["failures"]
-        == engine.stats["submissions"]
+        engine.stats_view.analyzed + engine.stats_view.failures
+        == engine.stats_view.submissions
     )
-    assert engine.stats["analyzed"] == sum(
+    assert engine.stats_view.analyzed == sum(
         1 for o in outcomes if o is not None
     )
 
@@ -233,10 +233,10 @@ def test_parallel_requeue_matches_sequential_under_crashes(sdk, day):
     # With a 50% crash rate some apps must have been requeued, and the
     # crash counter agrees between execution modes.
     assert result.requeues > 0
-    assert engine.stats["crashes"] > 0
+    assert engine.stats_view.crashes > 0
     assert (
-        engine.stats["analyzed"] + engine.stats["failures"]
-        == engine.stats["submissions"]
+        engine.stats_view.analyzed + engine.stats_view.failures
+        == engine.stats_view.submissions
         == len(day)
     )
 
@@ -268,10 +268,10 @@ def test_parallel_all_backends_failed_is_isolated(sdk, day):
     assert len(result.failures) == len(day)
     assert all(a is None for a in result.analyses)
     assert result.observations == []
-    assert engine.stats["failures"] == len(day)
+    assert engine.stats_view.failures == len(day)
     assert (
-        engine.stats["analyzed"] + engine.stats["failures"]
-        == engine.stats["submissions"]
+        engine.stats_view.analyzed + engine.stats_view.failures
+        == engine.stats_view.submissions
     )
     for failure in result.failures:
         assert "all backends failed" in failure.reason

@@ -1,0 +1,180 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MINUTES_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+def test_counter_basics():
+    reg = MetricsRegistry()
+    assert reg.value("requests_total") == 0.0
+    reg.inc("requests_total")
+    reg.inc("requests_total", 4)
+    assert reg.value("requests_total") == 5.0
+    assert reg.total("requests_total") == 5.0
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="counters only go up"):
+        reg.inc("x_total", -1)
+
+
+def test_invalid_metric_names_rejected():
+    reg = MetricsRegistry()
+    for bad in ("", "9lives", "has space", "dash-ed"):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.inc(bad)
+
+
+def test_counter_label_sets_are_independent():
+    reg = MetricsRegistry()
+    reg.inc("emu_total", 2, backend="lightweight")
+    reg.inc("emu_total", 3, backend="google")
+    assert reg.value("emu_total", backend="lightweight") == 2.0
+    assert reg.value("emu_total", backend="google") == 3.0
+    assert reg.value("emu_total") == 0.0  # the unlabeled series
+    assert reg.total("emu_total") == 5.0
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    reg.set_gauge("occupancy", 12.0)
+    reg.add_gauge("occupancy", -2.0)
+    assert reg.value("occupancy") == 10.0
+
+
+def test_histogram_counts_sum_and_buckets():
+    reg = MetricsRegistry()
+    for v in (0.1, 0.3, 0.6, 1.5, 99.0):
+        reg.observe("minutes", v, buckets=(0.25, 0.5, 1.0, 2.0))
+    snap = reg.histogram("minutes")
+    assert snap.count == 5
+    assert snap.sum == pytest.approx(0.1 + 0.3 + 0.6 + 1.5 + 99.0)
+    # (<=0.25, <=0.5, <=1.0, <=2.0, overflow)
+    assert snap.counts == (1, 1, 1, 1, 1)
+    assert snap.mean == pytest.approx(snap.sum / 5)
+    assert reg.histogram_count("minutes") == 5
+    assert reg.histogram_sum("minutes") == pytest.approx(snap.sum)
+
+
+def test_histogram_buckets_fixed_at_first_observation():
+    reg = MetricsRegistry()
+    reg.observe("lat", 1.0, buckets=(1.0, 2.0))
+    reg.observe("lat", 1.5, buckets=(9.0,))  # ignored: spec is fixed
+    assert reg.histogram("lat").buckets == (1.0, 2.0)
+
+
+def test_histogram_missing_returns_none():
+    assert MetricsRegistry().histogram("nope") is None
+
+
+def test_json_snapshot_round_trip():
+    reg = MetricsRegistry()
+    reg.inc("a_total", 3, kind="x")
+    reg.set_gauge("g", 1.5)
+    reg.observe("h_minutes", 0.7, buckets=DEFAULT_MINUTES_BUCKETS,
+                backend="b")
+    clone = MetricsRegistry.from_json(reg.to_json())
+    assert clone.as_dict() == reg.as_dict()
+    assert clone.to_prometheus() == reg.to_prometheus()
+    # And the snapshot is plain JSON all the way down.
+    json.dumps(reg.as_dict())
+
+
+# One metric line: name{labels} value — the Prometheus text format.
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"[-+]?([0-9.]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
+)
+
+
+def test_prometheus_exposition_is_well_formed():
+    reg = MetricsRegistry()
+    reg.inc("apps_total", 7)
+    reg.inc("emu_total", 2, backend="google")
+    reg.set_gauge("util", 0.8125)
+    reg.observe("lat_seconds", 0.3, buckets=(0.25, 0.5))
+    reg.observe("lat_seconds", 0.9, buckets=(0.25, 0.5))
+    text = reg.to_prometheus()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    types = [l for l in lines if l.startswith("# TYPE")]
+    assert "# TYPE apps_total counter" in types
+    assert "# TYPE util gauge" in types
+    assert "# TYPE lat_seconds histogram" in types
+    for line in lines:
+        if line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"malformed exposition line: {line}"
+    # Histogram exposition: cumulative buckets, +Inf, _sum and _count.
+    assert 'lat_seconds_bucket{le="0.5"} 1' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 2' in lines
+    assert "lat_seconds_count 2" in lines
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.inc("odd_total", 1, msg='say "hi" \\ bye')
+    text = reg.to_prometheus()
+    assert r'msg="say \"hi\" \\ bye"' in text
+
+
+def test_reset_clears_everything():
+    reg = MetricsRegistry()
+    reg.inc("a_total")
+    reg.observe("h_seconds", 1.0)
+    reg.reset()
+    assert reg.as_dict() == {"counters": [], "gauges": [], "histograms": []}
+
+
+def test_concurrent_increments_are_exact():
+    reg = MetricsRegistry()
+    n_threads, per_thread = 8, 2000
+
+    def work():
+        for _ in range(per_thread):
+            reg.inc("hits_total")
+            reg.observe("lat_seconds", 0.01, buckets=(1.0,))
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.value("hits_total") == n_threads * per_thread
+    assert reg.histogram("lat_seconds").count == n_threads * per_thread
+
+
+def test_null_registry_records_nothing():
+    reg = NullRegistry()
+    reg.inc("a_total", 5)
+    reg.set_gauge("g", 1.0)
+    reg.add_gauge("g", 1.0)
+    reg.observe("h_seconds", 1.0)
+    assert reg.as_dict() == {"counters": [], "gauges": [], "histograms": []}
+    assert reg.value("a_total") == 0.0
+
+
+def test_default_registry_swap_restores():
+    original = default_registry()
+    mine = MetricsRegistry()
+    previous = set_default_registry(mine)
+    try:
+        assert previous is original
+        assert default_registry() is mine
+    finally:
+        set_default_registry(original)
+    assert default_registry() is original

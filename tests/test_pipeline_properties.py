@@ -146,7 +146,7 @@ def test_cache_persistence_roundtrip(sdk, catalog, tmp_path):
     engine2 = DynamicAnalysisEngine(sdk, sdk.restricted_api_ids, seed=3)
     second = VettingPipeline(engine2, workers=3, cache=reloaded).run(day)
     assert second.cache_hits == len(day)
-    assert engine2.stats["submissions"] == 0
+    assert engine2.stats_view.submissions == 0
     assert [a.observation for a in second.analyses] == [
         a.observation for a in first.analyses
     ]
@@ -162,7 +162,7 @@ def test_duplicate_md5s_in_one_batch_emulate_once(sdk, catalog):
     result = VettingPipeline(
         engine, workers=4, cache=ObservationCache()
     ).run(batch)
-    assert engine.stats["submissions"] == 1
+    assert engine.stats_view.submissions == 1
     assert result.n_analyzed == 1
     assert result.n_cached == 5
     observations = [a.observation for a in result.analyses]

@@ -10,6 +10,43 @@ from hypothesis import strategies as st
 from repro.core.features import AppObservation, FeatureMode, FeatureSpace
 
 
+#: The locked public contract: removing a name (or forgetting to list a
+#: new one here AND in ``repro.__all__``) is a breaking change and must
+#: fail loudly.
+PUBLIC_API = frozenset(
+    {
+        "AndroidSdk",
+        "ApiChecker",
+        "ApiMethod",
+        "Apk",
+        "AppCorpus",
+        "AppObservation",
+        "CorpusGenerator",
+        "DynamicAnalysisEngine",
+        "EngineStats",
+        "EvolutionLoop",
+        "FeatureMode",
+        "FeatureSpace",
+        "KeyApiSelection",
+        "MarketStream",
+        "MetricsRegistry",
+        "ObservationCache",
+        "RandomForest",
+        "ReviewPipeline",
+        "SdkSpec",
+        "SpanSink",
+        "TMarket",
+        "TriageCenter",
+        "VetVerdict",
+        "VettingPipeline",
+        "VettingService",
+        "default_registry",
+        "select_key_apis",
+        "span",
+    }
+)
+
+
 def test_version_string():
     assert repro.__version__.count(".") == 2
 
@@ -17,6 +54,29 @@ def test_version_string():
 def test_all_exports_resolve():
     for name in repro.__all__:
         assert getattr(repro, name) is not None
+
+
+def test_public_api_contract_is_locked():
+    assert set(repro.__all__) == PUBLIC_API
+
+
+def test_all_is_sorted_and_unique():
+    assert sorted(repro.__all__) == list(repro.__all__)
+    assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+def test_observability_surface_reexported():
+    """The obs layer's public surface is reachable from the top level."""
+    from repro import EngineStats, MetricsRegistry, span
+    from repro.obs import MetricsRegistry as ObsRegistry
+
+    assert MetricsRegistry is ObsRegistry
+    reg = MetricsRegistry()
+    with span("api_probe", registry=reg):
+        pass
+    assert reg.histogram("api_probe_seconds").count == 1
+    stats = EngineStats.from_registry(reg)
+    assert stats.submissions == 0 and stats.settled
 
 
 def test_readme_quickstart_snippet_runs():

@@ -74,6 +74,62 @@ def test_lightweight_reduction(sdk, timing_sample):
     assert 0.55 < reduction < 0.8  # paper: ~70%
 
 
+def test_throughput_and_crash_waste_derive_from_recorded_spans(
+    sdk, timing_sample
+):
+    """Operational figures come from recorded spans, not re-estimates.
+
+    The pipeline records every executed slot interval as a sim-clock
+    span (`pipeline_task_minutes`) and every crash's burnt time as a
+    counter; the ScheduleReport's recomputed throughput and the
+    analyses' summed waste must agree with the span-derived figures.
+    """
+    from repro.core.engine import DynamicAnalysisEngine
+    from repro.core.pipeline import VettingPipeline
+    from repro.obs import MetricsRegistry
+
+    class CrashyPrimary(GoogleEmulator):
+        def crash_probability(self, apk):
+            return 0.35
+
+    registry = MetricsRegistry()
+    engine = DynamicAnalysisEngine(
+        sdk, [], primary=CrashyPrimary(), fallback=GoogleEmulator(),
+        max_retries=2, seed=11, registry=registry,
+    )
+    pipeline = VettingPipeline(engine, workers=4, registry=registry)
+    result = pipeline.run(timing_sample)
+    assert not result.failures
+
+    # Throughput: span count and recorded makespan vs. the report.
+    n_spans = registry.histogram_count("pipeline_task_minutes")
+    makespan = registry.value("cluster_makespan_minutes")
+    assert n_spans == len(timing_sample)
+    span_throughput = n_spans * 24 * 60 / makespan
+    assert span_throughput == pytest.approx(
+        result.schedule.throughput_per_day(), rel=1e-9
+    )
+
+    # Busy time: the summed span durations vs. the report's slot tally.
+    span_busy = registry.histogram_sum("pipeline_task_minutes")
+    assert span_busy == pytest.approx(
+        float(result.schedule.slot_busy_minutes.sum()), rel=1e-9
+    )
+
+    # Crash waste: the counter accumulated at crash time vs. the waste
+    # recomputed from each app's (total - clean-run) minutes.
+    recomputed = sum(
+        a.total_minutes - a.result.analysis_minutes
+        for a in result.analyses
+        if a is not None
+    )
+    recorded = registry.value("engine_crash_waste_minutes_total")
+    assert recorded == pytest.approx(recomputed, rel=1e-9, abs=1e-12)
+    # And at least one crash actually happened in this sample, so the
+    # agreement above is not vacuous.
+    assert registry.value("engine_crashes_total") > 0
+
+
 def test_invocation_volume_anchor(sdk, timing_sample):
     env = DeviceEnvironment.hardened_emulator()
     hooks = HookEngine(sdk, [])
