@@ -1,0 +1,160 @@
+"""Online-service throughput — closed-loop load against the in-process API.
+
+A pool of closed-loop clients drives :class:`OnlineVettingService`
+directly (submit, then poll ``result`` until terminal, then submit the
+next app — the classic closed-loop load model, so offered load tracks
+service capacity instead of overrunning it).  Measured at 1 and 4
+pipeline workers:
+
+* sustained throughput (terminal outcomes per second of wall time);
+* p50/p95 end-to-end latency (accept -> terminal result, per client).
+
+The numbers land in a JSON result file (default
+``benchmarks/results/serve_throughput.json``, override with
+``REPRO_SERVE_BENCH_OUT``) so CI and regression diffs can consume them.
+The run also asserts the conservation law every serving configuration
+must obey: accepted == completed == scored, queue drained.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import MetricsRegistry
+from repro.serve.queue import SubmissionQueue
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import OnlineVettingService
+
+#: Submissions per worker configuration (disjoint app slices, so the
+#: observation cache can never serve one configuration from another).
+N_SUBMISSIONS = 96
+
+#: Concurrent closed-loop clients.
+N_CLIENTS = 8
+
+WORKER_SWEEP = (1, 4)
+
+
+def _default_out() -> Path:
+    override = os.environ.get("REPRO_SERVE_BENCH_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "results" / "serve_throughput.json"
+
+
+def _drive_closed_loop(service, apps):
+    """Run the client pool to exhaustion; returns per-app latencies."""
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    latencies: list[float] = []
+    failures: list[str] = []
+
+    def client():
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(apps):
+                    return
+                cursor["next"] = index + 1
+            apk = apps[index]
+            t0 = time.perf_counter()
+            service.submit(apk)
+            while True:
+                outcome = service.result(apk.md5)
+                state = outcome.get("status")
+                if state in ("done", "failed"):
+                    break
+                time.sleep(0.002)
+            latencies.append(time.perf_counter() - t0)
+            if state == "failed":
+                failures.append(apk.md5)
+
+    threads = [threading.Thread(target=client) for _ in range(N_CLIENTS)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    assert not failures, f"{len(failures)} submissions failed"
+    return np.array(latencies), wall
+
+
+def test_serve_throughput(tmp_path, world, fitted_checker_factory, once):
+    checker = fitted_checker_factory()
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(checker, metadata={"source": "bench"}, activate=True)
+
+    apps = list(world.test)
+    assert len(apps) >= N_SUBMISSIONS * len(WORKER_SWEEP), (
+        "bench world too small for disjoint per-configuration slices"
+    )
+
+    def run():
+        rows = {}
+        for i, workers in enumerate(WORKER_SWEEP):
+            piece = apps[i * N_SUBMISSIONS:(i + 1) * N_SUBMISSIONS]
+            metrics = MetricsRegistry()
+            queue = SubmissionQueue(
+                max_depth=0, registry=metrics  # unbounded: closed loop
+            )
+            service = OnlineVettingService(
+                models,
+                queue=queue,
+                workers=workers,
+                batch_size=2 * workers,
+                cache=None,
+                metrics=metrics,
+            )
+            with service:
+                latencies, wall = _drive_closed_loop(service, piece)
+            accepted = metrics.total("serve_submissions_total")
+            rows[workers] = {
+                "workers": workers,
+                "clients": N_CLIENTS,
+                "submissions": len(piece),
+                "wall_seconds": wall,
+                "throughput_per_sec": len(piece) / wall,
+                "latency_p50_seconds": float(np.percentile(latencies, 50)),
+                "latency_p95_seconds": float(np.percentile(latencies, 95)),
+                "accepted": accepted,
+                "completed": metrics.value("serve_completed_total"),
+                "scored": metrics.value("serve_scored_total"),
+            }
+        return rows
+
+    rows = once(run)
+
+    print(f"\nClosed-loop serving throughput "
+          f"({N_CLIENTS} clients, {N_SUBMISSIONS} submissions each run):")
+    for workers, row in sorted(rows.items()):
+        print(f"  {workers} workers: "
+              f"{row['throughput_per_sec']:7.1f} subs/s  "
+              f"p50 {row['latency_p50_seconds'] * 1e3:6.1f} ms  "
+              f"p95 {row['latency_p95_seconds'] * 1e3:6.1f} ms")
+
+    for row in rows.values():
+        # Conservation: every accepted submission reached one terminal
+        # outcome and was scored exactly once.
+        assert row["accepted"] == row["submissions"]
+        assert row["completed"] == row["submissions"]
+        assert row["scored"] == row["submissions"]
+        assert row["throughput_per_sec"] > 0
+        assert row["latency_p50_seconds"] <= row["latency_p95_seconds"]
+
+    out = _default_out()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(
+            {"bench": "serve_throughput", "rows": list(rows.values())},
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+    print(f"  wrote {out}")

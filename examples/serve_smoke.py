@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Serve smoke: boot the online vetting service and exercise the API.
+
+The CI serve-smoke job runs this end to end:
+
+1. train a small bootstrap model and publish it to a model registry,
+2. start the durable online service + HTTP API on an ephemeral port,
+3. submit a batch over real HTTP (mixed lanes), poll every result to a
+   terminal outcome,
+4. scrape ``/metrics`` and assert the conservation counters: accepted ==
+   completed == scored, queue drained, admission rejects surfaced.
+
+Exit code 0 means the serving path works; any assertion or timeout is a
+build failure.
+
+Run:  python examples/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro import (
+    AndroidSdk,
+    ApiChecker,
+    CorpusGenerator,
+    ModelRegistry,
+    OnlineVettingService,
+    SdkSpec,
+    make_server,
+)
+from repro.serve.codec import apk_to_dict
+
+N_SUBMISSIONS = 16
+POLL_TIMEOUT = 120.0
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=15.0) as resp:
+        return resp.status, resp.read()
+
+
+def _post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=15.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _metric(text: str, name: str) -> float:
+    """Sum a counter/gauge across label sets in Prometheus exposition."""
+    total = 0.0
+    seen = False
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head = line.split(" ")[0]
+            if head == name or head.startswith(name + "{"):
+                total += float(line.rsplit(" ", 1)[1])
+                seen = True
+    assert seen, f"metric {name} missing from /metrics"
+    return total
+
+
+def main() -> int:
+    print("== 1. Bootstrap model ==")
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=1000, seed=11))
+    generator = CorpusGenerator(sdk, seed=12)
+    checker = ApiChecker(sdk, seed=13).fit(generator.generate(300))
+
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    models = ModelRegistry(workdir / "models")
+    version = models.publish(
+        checker, metadata={"source": "smoke"}, activate=True
+    ).version
+    print(f"published and activated model v{version}")
+
+    print("\n== 2. Start the service + HTTP API ==")
+    service = OnlineVettingService(
+        models, spool_dir=workdir / "spool", workers=2, batch_size=4
+    ).start()
+    server = make_server(service).start_background()
+    base = f"http://127.0.0.1:{server.port}"
+    status, body = _get(f"{base}/healthz")
+    assert status == 200, f"healthz returned {status}"
+    print(f"serving on {base}: {json.loads(body)}")
+
+    print(f"\n== 3. Submit {N_SUBMISSIONS} apps over HTTP and poll ==")
+    lanes = ["bulk", "bulk", "resubmit", "escalated"]
+    submitted = []
+    for i in range(N_SUBMISSIONS):
+        apk = generator.sample_app(malicious=(i % 5 == 0))
+        status, ticket = _post_json(
+            f"{base}/submit",
+            {"apk": apk_to_dict(apk), "lane": lanes[i % len(lanes)]},
+        )
+        assert status == 202, f"submit returned {status}"
+        submitted.append(ticket["md5"])
+    deadline = time.monotonic() + POLL_TIMEOUT
+    outcomes = {}
+    while len(outcomes) < len(submitted):
+        assert time.monotonic() < deadline, "timed out waiting for results"
+        for md5 in submitted:
+            if md5 in outcomes:
+                continue
+            try:
+                status, body = _get(f"{base}/result/{md5}")
+            except urllib.error.HTTPError as err:  # 404 must not happen
+                raise AssertionError(
+                    f"result/{md5} -> HTTP {err.code}"
+                ) from err
+            if status == 200:
+                outcomes[md5] = json.loads(body)
+        time.sleep(0.05)
+    flagged = sum(bool(o.get("malicious")) for o in outcomes.values())
+    assert all(o["status"] == "done" for o in outcomes.values())
+    print(f"all {len(outcomes)} terminal ({flagged} flagged)")
+
+    print("\n== 4. Scrape /metrics and check conservation ==")
+    status, body = _get(f"{base}/metrics")
+    assert status == 200
+    text = body.decode("utf-8")
+    accepted = _metric(text, "serve_submissions_total")
+    completed = _metric(text, "serve_completed_total")
+    scored = _metric(text, "serve_scored_total")
+    depth = _metric(text, "serve_queue_depth")
+    active = _metric(text, "serve_active_model_version")
+    unique = len(set(submitted))
+    assert accepted == unique, f"accepted {accepted} != {unique}"
+    assert completed == unique, f"completed {completed} != {unique}"
+    assert scored == unique, f"scored {scored} != {unique}"
+    assert depth == 0, f"queue not drained: depth {depth}"
+    assert active == version
+    print(
+        f"accepted={accepted:.0f} completed={completed:.0f} "
+        f"scored={scored:.0f} depth={depth:.0f} "
+        f"active_model=v{active:.0f}"
+    )
+
+    server.stop()
+    service.close()
+    print("\nserve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,8 +39,16 @@ from repro.obs import (
     default_registry,
     span,
 )
+from repro.serve import (
+    ModelRegistry,
+    OnlineVettingService,
+    QueueFullError,
+    ShadowPromotionGate,
+    SubmissionQueue,
+    make_server,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AndroidSdk",
@@ -58,17 +66,23 @@ __all__ = [
     "KeyApiSelection",
     "MarketStream",
     "MetricsRegistry",
+    "ModelRegistry",
     "ObservationCache",
+    "OnlineVettingService",
+    "QueueFullError",
     "RandomForest",
     "ReviewPipeline",
     "SdkSpec",
+    "ShadowPromotionGate",
     "SpanSink",
+    "SubmissionQueue",
     "TMarket",
     "TriageCenter",
     "VetVerdict",
     "VettingPipeline",
     "VettingService",
     "default_registry",
+    "make_server",
     "select_key_apis",
     "span",
 ]

@@ -11,6 +11,11 @@ Commands:
   Fig. 12 / Fig. 14 series.
 * ``metrics`` — render a metrics snapshot (or a fresh instrumented
   demo run) as JSON or Prometheus text exposition.
+* ``serve`` — run the online vetting service: durable submission
+  queue (WAL in ``--spool``), versioned model registry with hot swap
+  (``--model-dir``), and the HTTP JSON API (``/submit``,
+  ``/result/<md5>``, ``/healthz``, ``/metrics``).  See
+  ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -82,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
     # The built-in demo run only needs to populate a registry; keep it
     # an order of magnitude lighter than a real vet run.
     metrics.set_defaults(apis=1000, train=300)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online vetting service (queue + registry + HTTP)",
+    )
+    _add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="HTTP port (0 picks a free one; default 8351)")
+    serve.add_argument("--spool", required=True,
+                       help="spool directory for the submission WAL")
+    serve.add_argument("--model-dir", required=True,
+                       help="model registry directory; an existing "
+                            "registry with an active version is reused, "
+                            "otherwise a bootstrap model is trained and "
+                            "published")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="pipeline workers per micro-batch (default 4)")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="max submissions per dispatch cycle (default 8)")
+    serve.add_argument("--max-depth", type=int, default=10_000,
+                       help="admission bound on queue depth (default 10000)")
+    serve.add_argument("--cache", default=None,
+                       help="persistent observation-cache file "
+                            "(default: in-memory)")
+    # Bootstrap training should be light: the service exists to serve,
+    # not to reproduce the full study.
+    serve.set_defaults(apis=1000, train=300)
     return parser
 
 
@@ -217,6 +250,58 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import threading
+
+    from repro.obs import MetricsRegistry
+    from repro.serve import ModelRegistry, OnlineVettingService, make_server
+
+    metrics = MetricsRegistry()
+    models = ModelRegistry(args.model_dir, metrics=metrics)
+    if models.active_version is None:
+        print("no active model in registry; training bootstrap model...")
+        _sdk, _generator, checker = _build_and_fit(args, metrics)
+        version = models.publish(
+            checker,
+            metadata={
+                "source": "serve-bootstrap",
+                "apis": args.apis,
+                "train": args.train,
+                "seed": args.seed,
+            },
+            activate=True,
+        ).version
+        print(f"published and activated model v{version}")
+    service = OnlineVettingService(
+        models,
+        spool_dir=args.spool,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_depth=args.max_depth,
+        cache=args.cache if args.cache else True,
+        metrics=metrics,
+    )
+    service.start()
+    server = make_server(service, args.host, args.port)
+    server.start_background()
+    replayed = int(metrics.value("serve_wal_replayed_total"))
+    if replayed:
+        print(f"replayed {replayed} uncompleted submissions from the WAL")
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"(model v{models.active_version}, spool {args.spool}, "
+        f"{args.workers} workers)"
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -224,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         "vet": cmd_vet,
         "evolve": cmd_evolve,
         "metrics": cmd_metrics,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -11,6 +11,7 @@ APK in ~1.3 simulated minutes.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable
 
@@ -82,8 +83,10 @@ class ApiChecker:
         if not 0.0 < decision_threshold < 1.0:
             raise ValueError("decision_threshold must be in (0, 1)")
         self.sdk = sdk
-        self.classifier_factory = classifier_factory or (
-            lambda: RandomForest(seed=seed)
+        # partial, not a lambda: checkers must stay picklable so the
+        # serve-layer model registry can persist fitted artifacts.
+        self.classifier_factory = classifier_factory or functools.partial(
+            RandomForest, seed=seed
         )
         self.feature_mode = feature_mode
         self.feature_encoding = feature_encoding

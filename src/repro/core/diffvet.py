@@ -16,13 +16,50 @@ capability in.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.android.apk import Apk
 from repro.core.checker import ApiChecker, VetVerdict
+from repro.obs import MetricsRegistry
 
 #: Simulated cost of a differential check (seconds): a static diff.
 DIFF_CHECK_SECONDS = 4.0
+
+#: Counter keys the vetter maintains (registry: ``diffvet_<key>_total``).
+DIFFVET_STAT_KEYS = ("full_scans", "fast_paths")
+
+
+@dataclass(frozen=True)
+class DiffVetStats:
+    """Typed snapshot of a :class:`DiffVetter`'s counters.
+
+    Mirrors the :class:`repro.core.engine.EngineStats` pattern: the
+    counters live in a :class:`~repro.obs.MetricsRegistry` (one stats
+    surface for the whole stack) and this view is how code reads them.
+    """
+
+    full_scans: int
+    fast_paths: int
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "DiffVetStats":
+        return cls(
+            full_scans=int(registry.value("diffvet_full_scans_total")),
+            fast_paths=int(registry.value("diffvet_fast_paths_total")),
+        )
+
+    @property
+    def total(self) -> int:
+        return self.full_scans + self.fast_paths
+
+    @property
+    def fast_path_fraction(self) -> float:
+        return self.fast_paths / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """The legacy ``vetter.stats`` dict shape."""
+        return {key: getattr(self, key) for key in DIFFVET_STAT_KEYS}
 
 
 @dataclass(frozen=True)
@@ -79,27 +116,53 @@ class DiffVetter:
         checker: the fitted detector handling full scans.
         similarity_threshold: minimum API-set Jaccard similarity to the
             scanned parent for verdict inheritance.
+        registry: metrics registry the scan counters land in (default:
+            the checker's registry when it has one, else a private
+            registry — same unification rule as the engine).
     """
 
     def __init__(
         self,
         checker: ApiChecker,
         similarity_threshold: float = 0.95,
+        registry: MetricsRegistry | None = None,
     ):
         checker._require_fitted()
         if not 0.5 <= similarity_threshold <= 1.0:
             raise ValueError("similarity_threshold must be in [0.5, 1]")
         self.checker = checker
         self.similarity_threshold = similarity_threshold
+        if registry is None:
+            registry = checker.registry or MetricsRegistry()
+        self.registry = registry
         self._profiles: dict[str, StaticProfile] = {}
         self._verdicts: dict[str, VetVerdict] = {}
-        self.stats = {"full_scans": 0, "fast_paths": 0}
+
+    @property
+    def stats_view(self) -> DiffVetStats:
+        """Typed counter snapshot (the replacement for ``stats``)."""
+        return DiffVetStats.from_registry(self.registry)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Deprecated dict view of the scan counters.
+
+        Kept for one release; use :attr:`stats_view` (typed) or query
+        ``vetter.registry`` directly.
+        """
+        warnings.warn(
+            "DiffVetter.stats is deprecated; use vetter.stats_view "
+            "(DiffVetStats) or vetter.registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats_view.as_dict()
 
     def _full_scan(self, apk: Apk, reason: str) -> DiffDecision:
         verdict = self.checker.vet(apk)
         self._profiles[apk.md5] = StaticProfile.of(apk)
         self._verdicts[apk.md5] = verdict
-        self.stats["full_scans"] += 1
+        self.registry.inc("diffvet_full_scans_total")
         return DiffDecision(
             apk_md5=apk.md5, fast_path=False, verdict=verdict, reason=reason
         )
@@ -128,7 +191,7 @@ class DiffVetter:
         )
         self._profiles[apk.md5] = profile
         self._verdicts[apk.md5] = verdict
-        self.stats["fast_paths"] += 1
+        self.registry.inc("diffvet_fast_paths_total")
         return DiffDecision(
             apk_md5=apk.md5,
             fast_path=True,
@@ -143,5 +206,4 @@ class DiffVetter:
 
     @property
     def fast_path_fraction(self) -> float:
-        total = self.stats["full_scans"] + self.stats["fast_paths"]
-        return self.stats["fast_paths"] / total if total else 0.0
+        return self.stats_view.fast_path_fraction

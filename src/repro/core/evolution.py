@@ -14,6 +14,7 @@ into the pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -33,9 +34,17 @@ class MonthlyRecord:
     Attributes:
         month: 1-based month index.
         report: prospective precision/recall for the month's traffic.
-        n_key_apis: size of the key set after the month's retraining.
+        n_key_apis: size of the key set after the month's retraining
+            (of the *serving* model: a gate-rejected candidate leaves
+            the previous model's key set in place).
         sdk_size: SDK API count that month.
         pool_size: training-pool size after absorption.
+        promotion: the gate's decision for the month's retrained
+            candidate (None when no ``model_gate`` is installed and the
+            swap was unconditional).  Carries ``promoted``,
+            ``agreement``, and ``reason`` when a
+            :class:`repro.serve.evolution.ShadowPromotionGate` is wired
+            in.
     """
 
     month: int
@@ -43,10 +52,30 @@ class MonthlyRecord:
     n_key_apis: int
     sdk_size: int
     pool_size: int
+    promotion: object | None = None
 
 
 class EvolutionLoop:
-    """Drives monthly vet-then-retrain cycles over a market stream."""
+    """Drives monthly vet-then-retrain cycles over a market stream.
+
+    Args:
+        stream: the market's monthly submission stream.
+        initial_corpus: bootstrap training corpus.
+        initial_labels: review labels for the bootstrap corpus
+            (default: corpus ground truth).
+        max_pool: training-pool size cap (oldest entries evicted).
+        checker_seed: seed for retrained checkers.
+        monkey_events: UI events per analysis.
+        model_gate: optional promotion gate called as
+            ``gate(candidate, month_observations, metadata=...)`` after
+            each retrain.  When it returns a decision whose
+            ``promoted`` attribute is False, the month's candidate is
+            discarded and the previous model keeps serving — monthly
+            evolution becomes promote-on-threshold instead of an
+            unconditional replace (see
+            :class:`repro.serve.evolution.ShadowPromotionGate`).
+            ``None`` preserves the historical unconditional swap.
+    """
 
     def __init__(
         self,
@@ -56,12 +85,14 @@ class EvolutionLoop:
         max_pool: int = 8000,
         checker_seed: int = 0,
         monkey_events: int = 5000,
+        model_gate: Callable[..., object] | None = None,
     ):
         if max_pool < len(initial_corpus):
             raise ValueError("max_pool must hold at least the initial corpus")
         self.stream = stream
         self.max_pool = max_pool
         self.monkey_events = monkey_events
+        self.model_gate = model_gate
         self._checker_seed = checker_seed
         self._rng = np.random.default_rng(checker_seed)
         labels = (
@@ -112,19 +143,41 @@ class EvolutionLoop:
             self._pool_obs = self._pool_obs[overflow:]
 
     def run_month(self) -> MonthlyRecord:
-        """Vet one month with the current model, then retrain."""
+        """Vet one month with the current model, then retrain.
+
+        With a ``model_gate`` installed, the retrained candidate only
+        replaces the serving model when the gate promotes it; otherwise
+        the month's data is still absorbed (it feeds the *next*
+        retrain) but the previous model keeps serving.
+        """
         batch = self.stream.next_month()
         verdicts = self.checker.vet_batch(batch.corpus)
         predicted = np.array([v.malicious for v in verdicts])
         report = evaluate(batch.market_labels, predicted)
         self._absorb(batch)
-        self.checker = self._retrain()
+        candidate = self._retrain()
+        promotion = None
+        if self.model_gate is None:
+            self.checker = candidate
+        else:
+            # The month's study observations are the pool tail (eviction
+            # drops from the front), a ready-made replay set for shadow
+            # agreement scoring.
+            month_obs = self._pool_obs[-len(batch.corpus):]
+            promotion = self.model_gate(
+                candidate,
+                month_obs,
+                metadata={"month": batch.month_index},
+            )
+            if getattr(promotion, "promoted", True):
+                self.checker = candidate
         record = MonthlyRecord(
             month=batch.month_index,
             report=report,
             n_key_apis=int(self.checker.key_api_ids.size),
             sdk_size=len(self.stream.sdk),
             pool_size=len(self._pool_apps),
+            promotion=promotion,
         )
         self.history.append(record)
         return record

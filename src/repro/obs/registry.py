@@ -199,6 +199,25 @@ class MetricsRegistry:
             self._histograms.clear()
             self._bucket_spec.clear()
 
+    # -- pickling ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the lock is dropped and re-created on load.
+
+        Model artifacts (a fitted ``ApiChecker`` and its engines) hold a
+        registry reference, and the serving layer persists those
+        artifacts to disk; a plain ``threading.Lock`` would make them
+        unpicklable.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # -- reads ---------------------------------------------------------
 
     def value(self, name: str, **labels: str) -> float:

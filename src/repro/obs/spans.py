@@ -114,6 +114,17 @@ class SpanSink:
                     fh.write(json.dumps(event.to_dict(), sort_keys=True))
                     fh.write("\n")
 
+    def __getstate__(self) -> dict:
+        """Pickle support (mirrors :meth:`MetricsRegistry.__getstate__`)."""
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def events(self, name: str | None = None) -> list[SpanEvent]:
         """Buffered events, optionally filtered by span name."""
         with self._lock:

@@ -1,0 +1,67 @@
+"""Online vetting service: durable queue, model registry, HTTP API.
+
+The deployed APICHECKER is an *online* system — ~10K daily submissions
+accepted continuously, vetted within hours, over a model that evolves
+monthly without downtime (§6).  This package is that serving layer:
+
+* :class:`SubmissionQueue` — write-ahead-logged, priority-laned,
+  depth-bounded admission queue; a killed service replays its WAL on
+  restart with no loss and no duplicate scoring.
+* :class:`ModelRegistry` — versioned, hash-verified model artifacts
+  with RW-locked hot-swap and shadow scoring of candidates against
+  live traffic.
+* :class:`ShadowPromotionGate` — turns
+  :meth:`~repro.core.evolution.EvolutionLoop.run_month` retrains into
+  promote-on-threshold decisions.
+* :class:`OnlineVettingService` — queue → pipeline → verdict wiring
+  on top of the batch engine stack.
+* :func:`make_server` / :class:`VettingHTTPServer` — stdlib HTTP JSON
+  API (``/submit``, ``/result/<md5>``, ``/healthz``, ``/metrics``).
+
+See ``docs/serving.md`` for the durability model, promotion policy,
+and API reference.
+"""
+
+from repro.serve.codec import apk_from_dict, apk_to_dict
+from repro.serve.evolution import ShadowPromotionGate
+from repro.serve.http import VettingHTTPServer, make_server
+from repro.serve.queue import (
+    LANE_BULK,
+    LANE_ESCALATED,
+    LANE_RESUBMIT,
+    LANES,
+    QueueFullError,
+    SubmissionQueue,
+    SubmissionRecord,
+)
+from repro.serve.registry import (
+    IntegrityError,
+    ModelRegistry,
+    ModelVersion,
+    PromotionDecision,
+    RWLock,
+    ScoredSubmission,
+)
+from repro.serve.service import OnlineVettingService
+
+__all__ = [
+    "LANE_BULK",
+    "LANE_ESCALATED",
+    "LANE_RESUBMIT",
+    "LANES",
+    "IntegrityError",
+    "ModelRegistry",
+    "ModelVersion",
+    "OnlineVettingService",
+    "PromotionDecision",
+    "QueueFullError",
+    "RWLock",
+    "ScoredSubmission",
+    "ShadowPromotionGate",
+    "SubmissionQueue",
+    "SubmissionRecord",
+    "VettingHTTPServer",
+    "apk_from_dict",
+    "apk_to_dict",
+    "make_server",
+]

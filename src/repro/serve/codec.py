@@ -1,0 +1,187 @@
+"""JSON wire codec for submitted APKs.
+
+The online service receives submissions over HTTP and must persist
+accepted ones to a write-ahead log before acknowledging them, so the
+full :class:`~repro.android.apk.Apk` model — manifest, dex, identity
+metadata — needs a loss-free JSON representation.  Round-tripping is
+exact: :func:`apk_from_dict` rebuilds an APK whose content MD5 equals
+the original's, which is what lets WAL replay and resubmission dedup
+key everything on ``md5``.
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk
+from repro.android.components import Activity, BroadcastReceiver, Service
+from repro.android.dex import (
+    ApiCallSite,
+    DexCode,
+    EmulatorProbe,
+    NativeIsa,
+    NativeLib,
+)
+from repro.android.manifest import AndroidManifest
+
+__all__ = ["apk_to_dict", "apk_from_dict", "CODEC_VERSION"]
+
+#: Wire format marker; bump on any incompatible schema change.
+CODEC_VERSION = 1
+
+
+def apk_to_dict(apk: Apk) -> dict:
+    """Serialize one APK to a JSON-ready dict (exact round-trip)."""
+    m = apk.manifest
+    d = apk.dex
+    return {
+        "v": CODEC_VERSION,
+        "md5": apk.md5,
+        "manifest": {
+            "package_name": m.package_name,
+            "version_code": m.version_code,
+            "requested_permissions": list(m.requested_permissions),
+            "activities": [
+                {
+                    "name": a.name,
+                    "referenced": a.referenced,
+                    "exported": a.exported,
+                    "reach_weight": a.reach_weight,
+                }
+                for a in m.activities
+            ],
+            "services": [
+                {
+                    "name": s.name,
+                    "exported": s.exported,
+                    "foreground": s.foreground,
+                }
+                for s in m.services
+            ],
+            "receivers": [
+                {
+                    "name": r.name,
+                    "intent_filters": list(r.intent_filters),
+                    "exported": r.exported,
+                }
+                for r in m.receivers
+            ],
+            "min_sdk_level": m.min_sdk_level,
+        },
+        "dex": {
+            "call_sites": [
+                {
+                    "api_id": s.api_id,
+                    "rate_multiplier": s.rate_multiplier,
+                    "reach_quantile": s.reach_quantile,
+                }
+                for s in d.call_sites
+            ],
+            "reflection_api_ids": list(d.reflection_api_ids),
+            "sent_intents": list(d.sent_intents),
+            "native_libs": [
+                {
+                    "name": lib.name,
+                    "isa": lib.isa.value,
+                    "size_mb": lib.size_mb,
+                    "houdini_compatible": lib.houdini_compatible,
+                }
+                for lib in d.native_libs
+            ],
+            "emulator_probes": [p.value for p in d.emulator_probes],
+            "uses_dynamic_loading": d.uses_dynamic_loading,
+            "obfuscated": d.obfuscated,
+            "needs_live_sensors": d.needs_live_sensors,
+        },
+        "is_malicious": apk.is_malicious,
+        "family": apk.family,
+        "size_mb": apk.size_mb,
+        "submitted_day": apk.submitted_day,
+        "parent_md5": apk.parent_md5,
+    }
+
+
+def apk_from_dict(record: dict) -> Apk:
+    """Rebuild an APK from its wire dict.
+
+    Raises:
+        ValueError: unsupported codec version, or the rebuilt content
+            hash does not match the recorded ``md5`` (corrupt payload).
+    """
+    version = record.get("v")
+    if version != CODEC_VERSION:
+        raise ValueError(f"unsupported apk codec version: {version!r}")
+    m = record["manifest"]
+    d = record["dex"]
+    manifest = AndroidManifest(
+        package_name=m["package_name"],
+        version_code=int(m["version_code"]),
+        requested_permissions=tuple(m["requested_permissions"]),
+        activities=tuple(
+            Activity(
+                name=a["name"],
+                referenced=bool(a["referenced"]),
+                exported=bool(a["exported"]),
+                reach_weight=float(a["reach_weight"]),
+            )
+            for a in m["activities"]
+        ),
+        services=tuple(
+            Service(
+                name=s["name"],
+                exported=bool(s["exported"]),
+                foreground=bool(s["foreground"]),
+            )
+            for s in m["services"]
+        ),
+        receivers=tuple(
+            BroadcastReceiver(
+                name=r["name"],
+                intent_filters=tuple(r["intent_filters"]),
+                exported=bool(r["exported"]),
+            )
+            for r in m["receivers"]
+        ),
+        min_sdk_level=int(m["min_sdk_level"]),
+    )
+    dex = DexCode(
+        call_sites=tuple(
+            ApiCallSite(
+                api_id=int(s["api_id"]),
+                rate_multiplier=float(s["rate_multiplier"]),
+                reach_quantile=float(s["reach_quantile"]),
+            )
+            for s in d["call_sites"]
+        ),
+        reflection_api_ids=tuple(int(i) for i in d["reflection_api_ids"]),
+        sent_intents=tuple(d["sent_intents"]),
+        native_libs=tuple(
+            NativeLib(
+                name=lib["name"],
+                isa=NativeIsa(lib["isa"]),
+                size_mb=float(lib["size_mb"]),
+                houdini_compatible=bool(lib["houdini_compatible"]),
+            )
+            for lib in d["native_libs"]
+        ),
+        emulator_probes=tuple(
+            EmulatorProbe(p) for p in d["emulator_probes"]
+        ),
+        uses_dynamic_loading=bool(d["uses_dynamic_loading"]),
+        obfuscated=bool(d["obfuscated"]),
+        needs_live_sensors=bool(d["needs_live_sensors"]),
+    )
+    apk = Apk(
+        manifest=manifest,
+        dex=dex,
+        is_malicious=bool(record["is_malicious"]),
+        family=record["family"],
+        size_mb=float(record["size_mb"]),
+        submitted_day=int(record["submitted_day"]),
+        parent_md5=record.get("parent_md5"),
+    )
+    recorded = record.get("md5")
+    if recorded and apk.md5 != recorded:
+        raise ValueError(
+            f"apk payload corrupt: content hash {apk.md5} != "
+            f"recorded {recorded}"
+        )
+    return apk

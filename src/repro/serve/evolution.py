@@ -1,0 +1,96 @@
+"""Shadow-gated model promotion for the monthly evolution loop.
+
+The paper's deployment retrains monthly and swaps the model in (§5.3,
+§6).  A bad retrain — label noise in the month's reviews, an SDK bump
+that reshuffles the key-API set — would silently regress the live
+service if the swap were unconditional.  :class:`ShadowPromotionGate`
+makes the swap conditional: the candidate is published to the
+:class:`~repro.serve.registry.ModelRegistry`, staged as the shadow
+model, replayed against the month's study observations alongside the
+active model, and promoted only when verdict agreement clears a
+threshold.  Rejected candidates are recorded (state ``rejected``, plus
+a :class:`~repro.serve.registry.PromotionDecision` in the manifest) and
+the active model keeps serving.
+
+Wire it into :class:`~repro.core.evolution.EvolutionLoop` via the
+``model_gate`` hook::
+
+    registry = ModelRegistry(tmp / "models")
+    loop = EvolutionLoop(stream, initial, ...)
+    registry.publish(loop.checker, metadata={"source": "bootstrap"},
+                     activate=True)
+    loop.model_gate = ShadowPromotionGate(registry, min_agreement=0.9)
+    record = loop.run_month()          # record.promotion holds the decision
+"""
+
+from __future__ import annotations
+
+from repro.core.checker import ApiChecker
+from repro.core.features import AppObservation
+from repro.serve.registry import ModelRegistry, PromotionDecision
+
+__all__ = ["ShadowPromotionGate"]
+
+
+class ShadowPromotionGate:
+    """Publish → shadow → replay → promote-or-reject, as one callable.
+
+    Matches the :class:`~repro.core.evolution.EvolutionLoop`
+    ``model_gate`` protocol: called with the retrained candidate and
+    the month's observations, returns a
+    :class:`~repro.serve.registry.PromotionDecision` whose ``promoted``
+    flag tells the loop whether to adopt the candidate.
+
+    Args:
+        registry: the model registry; must hold an active version (the
+            loop's current model) before the first call.
+        min_agreement: verdict agreement rate the candidate must reach
+            against the active model.
+        min_samples: minimum replayed submissions for a valid decision;
+            a smaller month keeps the active model (no-data no-swap).
+        max_replay: cap on replayed observations per decision (bounds
+            gate latency for large months).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        min_agreement: float = 0.95,
+        min_samples: int = 20,
+        max_replay: int = 1000,
+    ):
+        if not 0.0 < min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if max_replay < min_samples:
+            raise ValueError("max_replay must be >= min_samples")
+        self.registry = registry
+        self.min_agreement = min_agreement
+        self.min_samples = min_samples
+        self.max_replay = max_replay
+
+    def __call__(
+        self,
+        candidate: ApiChecker,
+        observations: list[AppObservation],
+        metadata: dict | None = None,
+    ) -> PromotionDecision:
+        if self.registry.active_version is None:
+            raise RuntimeError(
+                "ShadowPromotionGate needs an active model to compare "
+                "against; publish the loop's current checker with "
+                "activate=True first"
+            )
+        meta = {"source": "evolution", "n_replay": 0}
+        meta.update(metadata or {})
+        version = self.registry.publish(candidate, metadata=meta).version
+        self.registry.stage_shadow(version)
+        replay = observations[: self.max_replay]
+        self.registry.versions[version].metadata["n_replay"] = len(replay)
+        for observation in replay:
+            self.registry.score(observation)
+        return self.registry.promote_on_agreement(
+            min_agreement=self.min_agreement,
+            min_samples=self.min_samples,
+        )

@@ -1,0 +1,166 @@
+"""HTTP JSON API over :class:`~repro.serve.service.OnlineVettingService`.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``) so the serving layer
+adds no dependencies.  Endpoints:
+
+* ``POST /submit`` — body ``{"apk": {...}, "lane": "bulk"}`` (or a bare
+  APK wire dict).  ``202`` with an acceptance ticket; ``429`` when
+  admission control rejects (queue full); ``400`` on malformed payloads.
+* ``GET /result/<md5>`` — ``200`` with the terminal outcome, ``202``
+  with ``{"status": "pending"|"in_flight"}`` while queued, ``404`` for
+  an unknown md5.
+* ``GET /healthz`` — liveness + active model version + queue depth.
+* ``GET /metrics`` — Prometheus text exposition of the unified
+  :class:`~repro.obs.MetricsRegistry` (engine, pipeline, queue, model
+  registry, and service counters in one scrape).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.codec import apk_from_dict
+from repro.serve.queue import LANES, QueueFullError
+from repro.serve.service import OnlineVettingService
+
+__all__ = ["VettingHTTPServer", "make_server"]
+
+#: Submission payloads above this are rejected before parsing (DoS guard).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service instance hangs off the server object."""
+
+    server: "VettingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+        pass
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            health = service.healthz()
+            status = 200 if health["status"] == "ok" else 503
+            self._send_json(status, health)
+        elif path == "/metrics":
+            self._send_text(
+                200,
+                service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path.startswith("/result/"):
+            md5 = path[len("/result/"):]
+            outcome = service.result(md5)
+            state = outcome.get("status")
+            if state in ("done", "failed"):
+                self._send_json(200, outcome)
+            elif state in ("pending", "in_flight"):
+                self._send_json(202, outcome)
+            else:
+                self._send_json(404, outcome)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/submit":
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400, {"error": "missing or oversized request body"}
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("payload must be a JSON object")
+            apk_dict = payload.get("apk", payload)
+            lane = payload.get("lane", "bulk")
+            if isinstance(lane, str) and lane not in LANES:
+                raise ValueError(
+                    f"unknown lane {lane!r}; expected one of {sorted(LANES)}"
+                )
+            apk = apk_from_dict(apk_dict)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": f"bad submission: {exc}"})
+            return
+        try:
+            ticket = service.submit(apk, lane)
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc)})
+            return
+        self._send_json(202, ticket)
+
+
+class VettingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its service; one thread per request."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: OnlineVettingService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> "VettingHTTPServer":
+        """Serve forever on a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name="serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.server_close()
+
+
+def make_server(
+    service: OnlineVettingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> VettingHTTPServer:
+    """Bind the API (port 0 picks a free port; see ``server.port``)."""
+    return VettingHTTPServer((host, port), service)

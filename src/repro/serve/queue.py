@@ -1,0 +1,420 @@
+"""Durable submission queue: JSONL write-ahead log + priority lanes.
+
+The online service must never lose an accepted submission (§6's
+operational loop vets ~10K daily submissions within hours), so every
+accepted APK is appended to a write-ahead log *before* the submitter is
+acknowledged.  A service killed mid-batch replays the WAL on restart:
+entries with a matching completion record land directly in the result
+store (never re-scored), entries without one are re-enqueued — each
+accepted submission reaches a terminal result exactly once.
+
+Three priority lanes order the dispatch queue: triage-escalated apps
+first, resubmissions/updates next, bulk traffic last (FIFO within a
+lane).  Queue depth is bounded; submissions past the bound are rejected
+with :class:`QueueFullError` — explicit backpressure, counted as
+``serve_admission_rejects_total`` — rather than buffered without limit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.android.apk import Apk
+from repro.obs import MetricsRegistry
+from repro.serve.codec import apk_from_dict, apk_to_dict
+
+__all__ = [
+    "LANES",
+    "LANE_ESCALATED",
+    "LANE_RESUBMIT",
+    "LANE_BULK",
+    "QueueFullError",
+    "SubmissionRecord",
+    "SubmissionQueue",
+]
+
+#: Priority lanes, most urgent first.  Lower number = dispatched first.
+LANE_ESCALATED = 0
+LANE_RESUBMIT = 1
+LANE_BULK = 2
+
+LANES = {
+    "escalated": LANE_ESCALATED,
+    "resubmit": LANE_RESUBMIT,
+    "bulk": LANE_BULK,
+}
+
+_LANE_NAMES = {v: k for k, v in LANES.items()}
+
+#: WAL format marker.
+WAL_FORMAT_VERSION = 1
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission (queue at max depth)."""
+
+
+def lane_name(lane: int) -> str:
+    return _LANE_NAMES.get(lane, str(lane))
+
+
+def parse_lane(value: int | str) -> int:
+    """Accept a lane by number or by name."""
+    if isinstance(value, str):
+        try:
+            return LANES[value]
+        except KeyError:
+            raise ValueError(
+                f"unknown lane {value!r}; expected one of {sorted(LANES)}"
+            ) from None
+    lane = int(value)
+    if lane not in _LANE_NAMES:
+        raise ValueError(f"unknown lane {lane}; expected 0, 1, or 2")
+    return lane
+
+
+@dataclass
+class SubmissionRecord:
+    """One accepted submission moving through the queue.
+
+    Attributes:
+        seq: monotonically increasing acceptance sequence number (the
+            WAL ordering key; ties in a lane dispatch FIFO by seq).
+        md5: content hash of the submitted APK.
+        lane: priority lane (see :data:`LANES`).
+        apk: the submission itself.
+        replayed: True when this record was recovered from the WAL
+            rather than accepted live.
+    """
+
+    seq: int
+    md5: str
+    lane: int
+    apk: Apk
+    replayed: bool = field(default=False, compare=False)
+
+
+class SubmissionQueue:
+    """Bounded, durable, priority-ordered submission queue.
+
+    Thread-safe.  All mutation goes through the WAL first: ``submit``
+    appends an acceptance record before the entry becomes visible to
+    consumers, ``mark_done`` appends a completion record carrying the
+    terminal outcome.  Reopening a queue on the same spool directory
+    replays the log (see :attr:`completed` for recovered outcomes).
+
+    Args:
+        spool_dir: directory holding ``queue.wal``; created on demand.
+            ``None`` keeps the queue purely in memory (tests, benches
+            that measure dispatch overhead without fsync noise).
+        max_depth: admission bound on pending entries; 0 disables the
+            bound.
+        registry: metrics registry for queue telemetry.
+        fsync: force an ``os.fsync`` after every WAL append (durability
+            against power loss, not just process crash).  Defaults to
+            False: flush-on-write survives a killed process, which is
+            the failure mode the replay tests exercise.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | Path | None = None,
+        max_depth: int = 10_000,
+        registry: MetricsRegistry | None = None,
+        fsync: bool = False,
+    ):
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.max_depth = max_depth
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._lanes: dict[int, list[SubmissionRecord]] = {
+            lane: [] for lane in sorted(_LANE_NAMES)
+        }
+        #: md5 -> live record, for idempotent resubmission while pending
+        #: or in flight.
+        self._pending: dict[str, SubmissionRecord] = {}
+        #: seq of records handed to a consumer but not yet marked done.
+        self._inflight: dict[int, SubmissionRecord] = {}
+        #: md5 -> terminal outcome dict (from live completion or replay).
+        self.completed: dict[str, dict] = {}
+        self._seq = 0
+        self._closed = False
+        self._wal_path: Path | None = None
+        self._wal = None
+        if self.spool_dir is not None:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+            self._wal_path = self.spool_dir / "queue.wal"
+            if self._wal_path.exists():
+                self._replay()
+            self._wal = self._wal_path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._wal is None:
+            return
+        self._wal.write(json.dumps(record, sort_keys=True))
+        self._wal.write("\n")
+        self._wal.flush()
+        if self.fsync:
+            os.fsync(self._wal.fileno())
+
+    def _replay(self) -> None:
+        """Rebuild queue state from the WAL (crash recovery)."""
+        accepted: dict[int, SubmissionRecord] = {}
+        with self._wal_path.open("r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self._wal_path}:{line_no}: malformed WAL line"
+                    ) from exc
+                kind = record.get("type")
+                if kind == "submit":
+                    if record.get("v") != WAL_FORMAT_VERSION:
+                        raise ValueError(
+                            f"{self._wal_path}:{line_no}: unsupported WAL "
+                            f"version {record.get('v')!r}"
+                        )
+                    seq = int(record["seq"])
+                    accepted[seq] = SubmissionRecord(
+                        seq=seq,
+                        md5=record["md5"],
+                        lane=parse_lane(record["lane"]),
+                        apk=apk_from_dict(record["apk"]),
+                        replayed=True,
+                    )
+                    self._seq = max(self._seq, seq)
+                elif kind == "done":
+                    seq = int(record["seq"])
+                    entry = accepted.pop(seq, None)
+                    md5 = record.get("md5") or (
+                        entry.md5 if entry is not None else None
+                    )
+                    if md5 is not None:
+                        self.completed[md5] = record.get("outcome", {})
+                else:
+                    raise ValueError(
+                        f"{self._wal_path}:{line_no}: unknown WAL record "
+                        f"type {kind!r}"
+                    )
+        replayed = 0
+        for seq in sorted(accepted):
+            entry = accepted[seq]
+            if entry.md5 in self.completed:
+                # A duplicate submission whose md5 already reached a
+                # terminal outcome: done, nothing to re-score.
+                continue
+            if entry.md5 in self._pending:
+                continue  # coalesce duplicate pending submissions
+            self._lanes[entry.lane].append(entry)
+            self._pending[entry.md5] = entry
+            replayed += 1
+        if replayed:
+            self.registry.inc("serve_wal_replayed_total", replayed)
+        self._update_depth_gauge()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, apk: Apk, lane: int | str = LANE_BULK) -> SubmissionRecord:
+        """Accept one submission (durable once this returns).
+
+        Resubmitting an md5 that is already pending or in flight is
+        idempotent and returns the existing record.  An md5 that already
+        reached a terminal outcome is *not* deduplicated — markets see
+        deliberate resubmissions of previously vetted content and those
+        are served from the observation cache downstream.
+
+        Raises:
+            QueueFullError: the queue is at ``max_depth``.
+        """
+        lane = parse_lane(lane)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            existing = self._pending.get(apk.md5)
+            if existing is not None:
+                self.registry.inc("serve_submissions_coalesced_total")
+                return existing
+            if self.max_depth and self.depth_locked() >= self.max_depth:
+                self.registry.inc("serve_admission_rejects_total")
+                raise QueueFullError(
+                    f"queue at max depth {self.max_depth}; retry later"
+                )
+            self._seq += 1
+            entry = SubmissionRecord(
+                seq=self._seq, md5=apk.md5, lane=lane, apk=apk
+            )
+            self._append(
+                {
+                    "type": "submit",
+                    "v": WAL_FORMAT_VERSION,
+                    "seq": entry.seq,
+                    "md5": entry.md5,
+                    "lane": entry.lane,
+                    "apk": apk_to_dict(apk),
+                }
+            )
+            self._lanes[lane].append(entry)
+            self._pending[apk.md5] = entry
+            self.registry.inc(
+                "serve_submissions_total", lane=lane_name(lane)
+            )
+            self._update_depth_gauge()
+            self._not_empty.notify()
+            return entry
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> SubmissionRecord | None:
+        """Pop the highest-priority pending entry (None on timeout).
+
+        The entry stays in the pending (md5-coalescing) set and moves to
+        the in-flight set until :meth:`mark_done`; a crash between the
+        two leaves its acceptance record uncompleted in the WAL, so a
+        restart re-enqueues it.
+        """
+        with self._not_empty:
+            if not self._wait_for_entry(timeout):
+                return None
+            for lane in sorted(self._lanes):
+                if self._lanes[lane]:
+                    entry = self._lanes[lane].pop(0)
+                    self._inflight[entry.seq] = entry
+                    self._update_depth_gauge()
+                    return entry
+            return None  # pragma: no cover - guarded by _wait_for_entry
+
+    def take_batch(
+        self, max_entries: int, timeout: float | None = None
+    ) -> list[SubmissionRecord]:
+        """Pop up to ``max_entries`` (blocking only for the first)."""
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        first = self.take(timeout)
+        if first is None:
+            return []
+        batch = [first]
+        while len(batch) < max_entries:
+            entry = self.take(timeout=0)
+            if entry is None:
+                break
+            batch.append(entry)
+        return batch
+
+    def _wait_for_entry(self, timeout: float | None) -> bool:
+        def has_entry() -> bool:
+            return self._closed or any(
+                self._lanes[lane] for lane in self._lanes
+            )
+
+        if not has_entry():
+            self._not_empty.wait_for(has_entry, timeout)
+        return any(self._lanes[lane] for lane in self._lanes)
+
+    def mark_done(self, entry: SubmissionRecord, outcome: dict) -> None:
+        """Record a terminal outcome for an in-flight entry (durable)."""
+        with self._lock:
+            self._append(
+                {
+                    "type": "done",
+                    "seq": entry.seq,
+                    "md5": entry.md5,
+                    "outcome": outcome,
+                }
+            )
+            self._inflight.pop(entry.seq, None)
+            live = self._pending.get(entry.md5)
+            if live is not None and live.seq == entry.seq:
+                del self._pending[entry.md5]
+            self.completed[entry.md5] = outcome
+            self.registry.inc("serve_completed_total")
+            self._update_depth_gauge()
+
+    def requeue(self, entry: SubmissionRecord) -> None:
+        """Put an in-flight entry back at the head of its lane.
+
+        Used on graceful shutdown mid-batch; no WAL record is needed
+        (the acceptance record is still uncompleted).
+        """
+        with self._lock:
+            self._inflight.pop(entry.seq, None)
+            self._lanes[entry.lane].insert(0, entry)
+            self._update_depth_gauge()
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def depth_locked(self) -> int:
+        """Pending + in-flight count (callers must hold the lock)."""
+        return (
+            sum(len(entries) for entries in self._lanes.values())
+            + len(self._inflight)
+        )
+
+    @property
+    def depth(self) -> int:
+        """Entries accepted but not yet terminal (pending + in flight)."""
+        with self._lock:
+            return self.depth_locked()
+
+    @property
+    def pending(self) -> int:
+        """Entries waiting for a consumer (excludes in-flight)."""
+        with self._lock:
+            return sum(len(entries) for entries in self._lanes.values())
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def status(self, md5: str) -> str:
+        """``pending`` / ``in_flight`` / ``done`` / ``unknown``."""
+        with self._lock:
+            if md5 in self.completed:
+                return "done"
+            entry = self._pending.get(md5)
+            if entry is None:
+                return "unknown"
+            if entry.seq in self._inflight:
+                return "in_flight"
+            return "pending"
+
+    def _update_depth_gauge(self) -> None:
+        self.registry.set_gauge("serve_queue_depth", self.depth_locked())
+
+    def close(self) -> None:
+        """Stop accepting, wake blocked consumers, close the WAL."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    def __enter__(self) -> "SubmissionQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

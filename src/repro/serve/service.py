@@ -1,0 +1,322 @@
+"""The online vetting service: queue in, verdicts out, models hot-swapped.
+
+:class:`OnlineVettingService` is the deployed shape of APICHECKER (§6):
+submissions arrive continuously (HTTP or direct calls), are made
+durable by the :class:`~repro.serve.queue.SubmissionQueue` WAL, and a
+dispatcher thread drains them in priority order through the existing
+:class:`~repro.core.pipeline.VettingPipeline` (crash requeue, fallback
+chain, observation cache) in micro-batches.  Each batch is analyzed and
+scored under a single model-registry read lease, so a concurrent model
+promotion can never hand one request a mixed-version answer.  Terminal
+outcomes are WAL-recorded, which is what makes kill-and-restart
+loss-free and exactly-once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.android.apk import Apk
+from repro.core.pipeline import ObservationCache, VettingPipeline
+from repro.emulator.cluster import ServerCluster
+from repro.obs import MetricsRegistry, SpanSink
+from repro.serve.queue import (
+    QueueFullError,
+    SubmissionQueue,
+    SubmissionRecord,
+    lane_name,
+)
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["OnlineVettingService"]
+
+#: End-to-end latency buckets (accept -> terminal outcome, seconds).
+E2E_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class OnlineVettingService:
+    """Durable online vetting over a hot-swappable model registry.
+
+    Args:
+        models: the model registry; must have (or be given) an active
+            version before :meth:`start`.
+        queue: the durable submission queue; built over ``spool_dir``
+            when not supplied.
+        spool_dir: where the queue WAL lives (used only when ``queue``
+            is None); ``None`` runs non-durably in memory.
+        workers: pipeline worker-pool size per micro-batch.
+        batch_size: max submissions drained per dispatch cycle.  Small
+            batches keep the accept-to-verdict latency low; large ones
+            amortize pool spin-up.
+        max_depth: admission bound for a queue built here.
+        cache: md5-keyed observation cache shared across batches
+            (``True`` for a fresh in-memory one, a path for a persistent
+            one, ``None`` to disable).
+        metrics: unified metrics registry (shared with the queue and
+            model registry unless those were built with their own).
+        sink: optional span sink.
+        cluster: hardware model for the pipeline (default: the paper's
+            single 16-slot server).
+        poll_seconds: dispatcher wait per idle cycle.
+    """
+
+    def __init__(
+        self,
+        models: ModelRegistry,
+        queue: SubmissionQueue | None = None,
+        spool_dir: str | Path | None = None,
+        workers: int = 4,
+        batch_size: int = 8,
+        max_depth: int = 10_000,
+        cache: ObservationCache | str | Path | bool | None = True,
+        metrics: MetricsRegistry | None = None,
+        sink: SpanSink | None = None,
+        cluster: ServerCluster | None = None,
+        poll_seconds: float = 0.05,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.models = models
+        self.metrics = metrics if metrics is not None else models.metrics
+        self.queue = queue if queue is not None else SubmissionQueue(
+            spool_dir=spool_dir,
+            max_depth=max_depth,
+            registry=self.metrics,
+        )
+        self.workers = workers
+        self.batch_size = batch_size
+        self.sink = sink
+        self.cluster = cluster or ServerCluster(n_servers=1)
+        self.poll_seconds = poll_seconds
+        if cache is True:
+            cache = ObservationCache()
+        elif isinstance(cache, (str, Path)):
+            cache = ObservationCache(cache)
+        self.cache = cache
+        #: md5 -> terminal outcome dict; seeded with outcomes the queue
+        #: recovered from its WAL so completed work is never re-scored.
+        self.results: dict[str, dict] = dict(self.queue.completed)
+        self._accept_wall: dict[int, float] = {}
+        self._stop = threading.Event()
+        self._dispatcher: threading.Thread | None = None
+        self._idle = threading.Condition()
+        self._processing = 0
+        self.started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Submission-facing API
+    # ------------------------------------------------------------------
+
+    def submit(self, apk: Apk, lane: int | str = "bulk") -> dict:
+        """Accept one submission (durable before return).
+
+        Returns an acceptance ticket ``{md5, seq, lane, status}``.
+
+        Raises:
+            QueueFullError: admission control rejected the submission.
+        """
+        entry = self.queue.submit(apk, lane)
+        self._accept_wall.setdefault(entry.seq, time.perf_counter())
+        return {
+            "md5": entry.md5,
+            "seq": entry.seq,
+            "lane": lane_name(entry.lane),
+            "status": self.queue.status(entry.md5),
+        }
+
+    def result(self, md5: str) -> dict:
+        """Current state of one submission: terminal outcome or status."""
+        outcome = self.results.get(md5)
+        if outcome is not None:
+            return outcome
+        return {"md5": md5, "status": self.queue.status(md5)}
+
+    def healthz(self) -> dict:
+        """Liveness/readiness summary for ``GET /healthz``."""
+        return {
+            "status": "ok" if self.running else "stopped",
+            "active_model_version": self.models.active_version,
+            "shadow_model_version": self.models.shadow_version,
+            "queue_depth": self.queue.depth,
+            "completed": len(self.results),
+            "workers": self.workers,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        return self.metrics.to_prometheus()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return (
+            self._dispatcher is not None and self._dispatcher.is_alive()
+        )
+
+    def start(self) -> "OnlineVettingService":
+        """Start the dispatcher (idempotent)."""
+        if self.running:
+            return self
+        self.models.active_checker()  # fail fast when nothing is active
+        self._stop.clear()
+        self.started_at = time.time()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop draining; the in-flight batch completes first."""
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+            self._dispatcher = None
+
+    def close(self) -> None:
+        self.stop()
+        self.queue.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every accepted submission is terminal.
+
+        Returns False on timeout.  The service must be running.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while True:
+                if self.queue.depth == 0 and self._processing == 0:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.running:
+                    return self.queue.depth == 0 and self._processing == 0
+                self._idle.wait(min(remaining, 0.25))
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.take_batch(
+                self.batch_size, timeout=self.poll_seconds
+            )
+            if not batch:
+                continue
+            with self._idle:
+                self._processing += len(batch)
+            try:
+                self._process_batch(batch)
+            finally:
+                with self._idle:
+                    self._processing -= len(batch)
+                    self._idle.notify_all()
+
+    def _process_batch(self, batch: list[SubmissionRecord]) -> None:
+        """Analyze and score one micro-batch under one model lease."""
+        self.metrics.inc("serve_batches_total")
+        with self.models.lease() as (version, checker, shadow):
+            pipeline = VettingPipeline(
+                checker.production_engine,
+                cluster=self.cluster,
+                workers=self.workers,
+                cache=self.cache,
+                registry=self.metrics,
+                sink=self.sink,
+            )
+            result = pipeline.run([entry.apk for entry in batch])
+            outcomes: list[tuple[SubmissionRecord, dict, bool | None]] = []
+            for entry, analysis in zip(batch, result.analyses):
+                if analysis is None:
+                    failure = next(
+                        (
+                            f.reason
+                            for f in result.failures
+                            if f.apk_md5 == entry.md5
+                        ),
+                        "analysis failed",
+                    )
+                    outcomes.append(
+                        (
+                            entry,
+                            {
+                                "md5": entry.md5,
+                                "status": "failed",
+                                "reason": failure,
+                                "model_version": version,
+                                "lane": lane_name(entry.lane),
+                            },
+                            None,
+                        )
+                    )
+                    continue
+                verdict = checker.verdict_from_observation(
+                    analysis.observation,
+                    analysis_minutes=analysis.total_minutes,
+                    fell_back=analysis.fell_back,
+                )
+                agreed: bool | None = None
+                shadow_version = None
+                if shadow is not None:
+                    shadow_version, shadow_checker = shadow
+                    shadow_verdict = shadow_checker.verdict_from_observation(
+                        analysis.observation
+                    )
+                    agreed = shadow_verdict.malicious == verdict.malicious
+                outcomes.append(
+                    (
+                        entry,
+                        {
+                            "md5": entry.md5,
+                            "status": "done",
+                            "malicious": verdict.malicious,
+                            "probability": verdict.probability,
+                            "analysis_minutes": verdict.analysis_minutes,
+                            "fell_back": verdict.fell_back,
+                            "from_cache": analysis.from_cache,
+                            "model_version": version,
+                            "shadow_model_version": shadow_version,
+                            "lane": lane_name(entry.lane),
+                        },
+                        agreed,
+                    )
+                )
+        # Outside the lease: durably record outcomes and update tallies
+        # (the shadow tally takes the registry's mutate lock, which must
+        # never be acquired while holding a read lease).
+        for entry, outcome, agreed in outcomes:
+            self.metrics.inc("serve_scored_total")
+            if agreed is not None:
+                self.models.record_shadow_result(agreed)
+            if outcome["status"] == "failed":
+                self.metrics.inc("serve_failed_total")
+            elif outcome.get("malicious"):
+                self.metrics.inc("serve_flagged_total")
+            self.queue.mark_done(entry, outcome)
+            self.results[entry.md5] = outcome
+            accepted = self._accept_wall.pop(entry.seq, None)
+            if accepted is not None:
+                self.metrics.observe(
+                    "serve_e2e_seconds",
+                    time.perf_counter() - accepted,
+                    buckets=E2E_BUCKETS,
+                )
+
+    def __enter__(self) -> "OnlineVettingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# Re-exported for convenience: callers catching admission rejects at the
+# service layer shouldn't need to import the queue module.
+OnlineVettingService.QueueFullError = QueueFullError

@@ -33,7 +33,7 @@ def test_first_submission_always_full_scan(vetter, generator):
     decision = vetter.vet(apk)
     assert not decision.fast_path
     assert decision.reason == "no scanned parent"
-    assert vetter.stats["full_scans"] == 1
+    assert vetter.stats_view.full_scans == 1
 
 
 def test_near_identical_update_rides_fast_path(vetter, sdk, catalog):
@@ -110,6 +110,25 @@ def test_fast_path_fraction_reporting(vetter, sdk, catalog):
     apps = [gen.sample_app(malicious=False, update_prob=0.9)
             for _ in range(40)]
     vetter.vet_batch(apps)
-    total = vetter.stats["full_scans"] + vetter.stats["fast_paths"]
-    assert total == 40
+    assert vetter.stats_view.total == 40
     assert 0.0 <= vetter.fast_path_fraction <= 1.0
+
+
+def test_stats_dict_is_deprecated(vetter, generator):
+    vetter.vet(generator.sample_app(malicious=False, update_prob=0.0))
+    with pytest.warns(DeprecationWarning, match="stats_view"):
+        legacy = vetter.stats
+    # The dict view is generated from the registry, so it can never
+    # disagree with the typed view during the deprecation window.
+    assert legacy == vetter.stats_view.as_dict()
+    assert legacy["full_scans"] == 1
+
+
+def test_counters_land_in_shared_registry(fitted_checker, generator):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    vetter = DiffVetter(fitted_checker, registry=registry)
+    vetter.vet(generator.sample_app(malicious=False, update_prob=0.0))
+    assert registry.value("diffvet_full_scans_total") == 1
+    assert vetter.stats_view.full_scans == 1

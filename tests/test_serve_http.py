@@ -1,0 +1,157 @@
+"""Tests for the HTTP JSON API over the online vetting service."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.codec import apk_to_dict
+from repro.serve.http import make_server
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import OnlineVettingService
+
+
+@pytest.fixture()
+def served(tmp_path, fitted_checker):
+    """A running service + HTTP server on an ephemeral port."""
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(fitted_checker, activate=True)
+    service = OnlineVettingService(models, workers=2, batch_size=4)
+    service.start()
+    server = make_server(service).start_background()
+    yield service, f"http://127.0.0.1:{server.port}"
+    server.stop()
+    service.close()
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _post(url, payload, raw=None):
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def test_healthz(served):
+    _, base = served
+    status, health = _get(f"{base}/healthz")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["active_model_version"] == 1
+
+
+def test_submit_then_poll_result(served, generator):
+    service, base = served
+    apk = generator.sample_app()
+    status, ticket = _post(
+        f"{base}/submit", {"apk": apk_to_dict(apk), "lane": "resubmit"}
+    )
+    assert status == 202
+    assert ticket["md5"] == apk.md5
+    assert ticket["lane"] == "resubmit"
+
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        status, outcome = _get(f"{base}/result/{apk.md5}")
+        if status == 200:
+            break
+        assert status == 202
+        assert outcome["status"] in ("pending", "in_flight")
+        time.sleep(0.02)
+    assert status == 200
+    assert outcome["status"] == "done"
+    assert outcome["model_version"] == 1
+
+
+def test_bare_apk_payload_defaults_to_bulk(served, generator):
+    _, base = served
+    apk = generator.sample_app()
+    status, ticket = _post(f"{base}/submit", apk_to_dict(apk))
+    assert status == 202 and ticket["lane"] == "bulk"
+
+
+def test_result_unknown_md5_is_404(served):
+    _, base = served
+    status, outcome = _get(f"{base}/result/deadbeef")
+    assert status == 404
+    assert outcome["status"] == "unknown"
+
+
+def test_malformed_submissions_are_400(served, generator):
+    _, base = served
+    status, err = _post(f"{base}/submit", None, raw=b"{not json")
+    assert status == 400 and "bad submission" in err["error"]
+
+    status, err = _post(f"{base}/submit", ["not", "a", "dict"])
+    assert status == 400
+
+    record = apk_to_dict(generator.sample_app())
+    status, err = _post(
+        f"{base}/submit", {"apk": record, "lane": "express"}
+    )
+    assert status == 400 and "unknown lane" in err["error"]
+
+    record["md5"] = "0" * 32  # corrupt content hash
+    status, err = _post(f"{base}/submit", {"apk": record})
+    assert status == 400 and "corrupt" in err["error"]
+
+    status, err = _post(f"{base}/submit", None, raw=b"")
+    assert status == 400
+
+
+def test_queue_full_is_429(tmp_path, fitted_checker, generator):
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(fitted_checker, activate=True)
+    # Not started: submissions pile up against max_depth=1.
+    service = OnlineVettingService(models, max_depth=1)
+    server = make_server(service).start_background()
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        status, _ = _post(
+            f"{base}/submit", apk_to_dict(generator.sample_app())
+        )
+        assert status == 202
+        status, err = _post(
+            f"{base}/submit", apk_to_dict(generator.sample_app())
+        )
+        assert status == 429
+        assert "max depth" in err["error"]
+    finally:
+        server.stop()
+        service.close()
+
+
+def test_metrics_exposition(served, generator):
+    service, base = served
+    service.submit(generator.sample_app())
+    assert service.drain(60.0)
+    request = urllib.request.urlopen(f"{base}/metrics", timeout=10.0)
+    assert request.status == 200
+    assert request.headers["Content-Type"].startswith("text/plain")
+    text = request.read().decode()
+    for series in (
+        "serve_active_model_version",
+        "serve_queue_depth",
+        "serve_submissions_total",
+    ):
+        assert series in text
+
+
+def test_unknown_endpoints_are_404(served):
+    _, base = served
+    assert _get(f"{base}/nope")[0] == 404
+    assert _post(f"{base}/nope", {"x": 1})[0] == 404

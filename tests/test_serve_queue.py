@@ -1,0 +1,241 @@
+"""Tests for the durable submission queue (WAL, lanes, admission)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve.queue import (
+    LANE_BULK,
+    LANE_ESCALATED,
+    LANE_RESUBMIT,
+    QueueFullError,
+    SubmissionQueue,
+    parse_lane,
+)
+
+
+@pytest.fixture()
+def apps(generator):
+    return [generator.sample_app() for _ in range(8)]
+
+
+def test_parse_lane_names_and_numbers():
+    assert parse_lane("escalated") == LANE_ESCALATED
+    assert parse_lane("resubmit") == LANE_RESUBMIT
+    assert parse_lane("bulk") == LANE_BULK
+    assert parse_lane(0) == LANE_ESCALATED
+    with pytest.raises(ValueError, match="unknown lane"):
+        parse_lane("express")
+    with pytest.raises(ValueError, match="unknown lane"):
+        parse_lane(7)
+
+
+def test_priority_order_and_fifo_within_lane(apps):
+    with SubmissionQueue() as q:
+        q.submit(apps[0], "bulk")
+        q.submit(apps[1], "bulk")
+        q.submit(apps[2], "escalated")
+        q.submit(apps[3], "resubmit")
+        order = [q.take(timeout=0).md5 for _ in range(4)]
+    assert order == [
+        apps[2].md5, apps[3].md5, apps[0].md5, apps[1].md5
+    ]
+
+
+def test_take_timeout_returns_none():
+    with SubmissionQueue() as q:
+        assert q.take(timeout=0.01) is None
+
+
+def test_take_batch_blocks_only_for_first(apps):
+    with SubmissionQueue() as q:
+        for apk in apps[:5]:
+            q.submit(apk)
+        batch = q.take_batch(3, timeout=0.01)
+        assert len(batch) == 3
+        assert q.pending == 2 and q.inflight == 3
+        assert q.take_batch(10, timeout=0.01) and q.pending == 0
+        with pytest.raises(ValueError):
+            q.take_batch(0)
+
+
+def test_admission_control_rejects_past_max_depth(apps):
+    registry = MetricsRegistry()
+    with SubmissionQueue(max_depth=2, registry=registry) as q:
+        q.submit(apps[0])
+        q.submit(apps[1])
+        with pytest.raises(QueueFullError, match="max depth"):
+            q.submit(apps[2])
+    assert registry.value("serve_admission_rejects_total") == 1
+    # In-flight entries still count against the bound: taking one does
+    # not free a slot until it is terminal.
+    with SubmissionQueue(max_depth=2) as q:
+        q.submit(apps[0])
+        q.submit(apps[1])
+        entry = q.take(timeout=0)
+        with pytest.raises(QueueFullError):
+            q.submit(apps[2])
+        q.mark_done(entry, {"status": "done"})
+        q.submit(apps[2])
+
+
+def test_pending_resubmission_is_idempotent(apps):
+    registry = MetricsRegistry()
+    with SubmissionQueue(registry=registry) as q:
+        first = q.submit(apps[0])
+        again = q.submit(apps[0], "escalated")
+        assert again is first
+        assert q.depth == 1
+    assert registry.value("serve_submissions_coalesced_total") == 1
+
+
+def test_terminal_md5_is_not_deduplicated(apps):
+    # Markets resubmit previously vetted content on purpose; those get
+    # a fresh acceptance (the observation cache absorbs the re-scan).
+    with SubmissionQueue() as q:
+        entry = q.submit(apps[0])
+        taken = q.take(timeout=0)
+        q.mark_done(taken, {"status": "done"})
+        fresh = q.submit(apps[0])
+        assert fresh.seq != entry.seq
+        assert q.status(apps[0].md5) == "done"  # result already served
+
+
+def test_status_transitions(apps):
+    with SubmissionQueue() as q:
+        assert q.status(apps[0].md5) == "unknown"
+        q.submit(apps[0])
+        assert q.status(apps[0].md5) == "pending"
+        entry = q.take(timeout=0)
+        assert q.status(apps[0].md5) == "in_flight"
+        q.mark_done(entry, {"status": "done"})
+        assert q.status(apps[0].md5) == "done"
+
+
+def test_requeue_puts_entry_at_lane_head(apps):
+    with SubmissionQueue() as q:
+        q.submit(apps[0])
+        q.submit(apps[1])
+        entry = q.take(timeout=0)
+        q.requeue(entry)
+        assert q.take(timeout=0).md5 == entry.md5
+
+
+def test_depth_gauge_tracks_queue(apps):
+    registry = MetricsRegistry()
+    with SubmissionQueue(registry=registry) as q:
+        q.submit(apps[0])
+        q.submit(apps[1])
+        assert registry.value("serve_queue_depth") == 2
+        entry = q.take(timeout=0)
+        assert registry.value("serve_queue_depth") == 2  # in flight
+        q.mark_done(entry, {"status": "done"})
+        assert registry.value("serve_queue_depth") == 1
+
+
+def test_wal_replay_restores_uncompleted_entries(tmp_path, apps):
+    spool = tmp_path / "spool"
+    q = SubmissionQueue(spool)
+    for apk in apps[:5]:
+        q.submit(apk)
+    done = q.take(timeout=0)
+    q.mark_done(done, {"status": "done", "malicious": False})
+    # Simulate a kill: drop the handle without any graceful shutdown.
+    q._wal.close()
+
+    registry = MetricsRegistry()
+    q2 = SubmissionQueue(spool, registry=registry)
+    assert q2.depth == 4
+    assert registry.value("serve_wal_replayed_total") == 4
+    assert q2.completed[done.md5]["status"] == "done"
+    replayed = q2.take_batch(10, timeout=0)
+    assert all(entry.replayed for entry in replayed)
+    assert {e.md5 for e in replayed} == {
+        a.md5 for a in apps[1:5]
+    }
+    # Replayed entries keep their lane and original content.
+    for entry in replayed:
+        assert entry.apk.md5 == entry.md5
+    q2.close()
+
+
+def test_wal_replay_preserves_in_flight_entries(tmp_path, apps):
+    # An entry taken but never marked done has an uncompleted acceptance
+    # record; a restart must re-enqueue it (crash between take and done).
+    spool = tmp_path / "spool"
+    q = SubmissionQueue(spool)
+    q.submit(apps[0])
+    q.take(timeout=0)
+    q._wal.close()
+    q2 = SubmissionQueue(spool)
+    assert q2.depth == 1
+    assert q2.take(timeout=0).md5 == apps[0].md5
+    q2.close()
+
+
+def test_wal_replay_survives_multiple_restarts(tmp_path, apps):
+    spool = tmp_path / "spool"
+    q = SubmissionQueue(spool)
+    q.submit(apps[0], "escalated")
+    q._wal.close()
+    q2 = SubmissionQueue(spool)
+    assert q2.depth == 1
+    q2._wal.close()
+    q3 = SubmissionQueue(spool)
+    entry = q3.take(timeout=0)
+    assert entry.md5 == apps[0].md5 and entry.lane == 0
+    q3.mark_done(entry, {"status": "done"})
+    q3.close()
+    q4 = SubmissionQueue(spool)
+    assert q4.depth == 0 and apps[0].md5 in q4.completed
+    q4.close()
+
+
+def test_seq_continues_after_replay(tmp_path, apps):
+    spool = tmp_path / "spool"
+    q = SubmissionQueue(spool)
+    first = q.submit(apps[0])
+    q._wal.close()
+    q2 = SubmissionQueue(spool)
+    fresh = q2.submit(apps[1])
+    assert fresh.seq > first.seq
+    q2.close()
+
+
+def test_malformed_wal_line_is_rejected(tmp_path):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    (spool / "queue.wal").write_text("{not json\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="malformed WAL"):
+        SubmissionQueue(spool)
+
+
+def test_unknown_wal_record_type_is_rejected(tmp_path):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    (spool / "queue.wal").write_text(
+        json.dumps({"type": "mystery"}) + "\n", encoding="utf-8"
+    )
+    with pytest.raises(ValueError, match="unknown WAL record"):
+        SubmissionQueue(spool)
+
+
+def test_future_wal_format_version_is_rejected(tmp_path, apps):
+    spool = tmp_path / "spool"
+    q = SubmissionQueue(spool)
+    q.submit(apps[0])
+    q.close()
+    wal = spool / "queue.wal"
+    record = json.loads(wal.read_text().strip())
+    record["v"] = 99
+    wal.write_text(json.dumps(record) + "\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported WAL"):
+        SubmissionQueue(spool)
+
+
+def test_closed_queue_rejects_submissions(apps):
+    q = SubmissionQueue()
+    q.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        q.submit(apps[0])
