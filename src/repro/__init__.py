@@ -39,6 +39,15 @@ from repro.obs import (
     default_registry,
     span,
 )
+from repro.rules import (
+    BehaviorReport,
+    RuleEvaluator,
+    RuleHit,
+    RuleSpec,
+    builtin_ruleset,
+    lint_ruleset,
+    load_ruleset,
+)
 from repro.serve import (
     ModelRegistry,
     OnlineVettingService,
@@ -57,6 +66,7 @@ __all__ = [
     "Apk",
     "AppCorpus",
     "AppObservation",
+    "BehaviorReport",
     "CorpusGenerator",
     "DynamicAnalysisEngine",
     "EngineStats",
@@ -72,6 +82,9 @@ __all__ = [
     "QueueFullError",
     "RandomForest",
     "ReviewPipeline",
+    "RuleEvaluator",
+    "RuleHit",
+    "RuleSpec",
     "SdkSpec",
     "ShadowPromotionGate",
     "SpanSink",
@@ -81,7 +94,10 @@ __all__ = [
     "VetVerdict",
     "VettingPipeline",
     "VettingService",
+    "builtin_ruleset",
     "default_registry",
+    "lint_ruleset",
+    "load_ruleset",
     "make_server",
     "select_key_apis",
     "span",

@@ -14,8 +14,13 @@ Commands:
 * ``serve`` — run the online vetting service: durable submission
   queue (WAL in ``--spool``), versioned model registry with hot swap
   (``--model-dir``), and the HTTP JSON API (``/submit``,
-  ``/result/<md5>``, ``/healthz``, ``/metrics``).  See
-  ``docs/serving.md``.
+  ``/result/<md5>``, ``/explain/<md5>``, ``/healthz``, ``/metrics``).
+  See ``docs/serving.md``.
+* ``explain`` — train, vet a fresh day with behavior rules enabled,
+  and print each flagged app's rule-evidence summary.  See
+  ``docs/rules.md``.
+* ``rules lint`` — check a behavior ruleset (default: the bundled one)
+  for authoring mistakes; exits 1 on errors.
 """
 
 from __future__ import annotations
@@ -115,6 +120,32 @@ def build_parser() -> argparse.ArgumentParser:
     # Bootstrap training should be light: the service exists to serve,
     # not to reproduce the full study.
     serve.set_defaults(apis=1000, train=300)
+
+    explain = sub.add_parser(
+        "explain",
+        help="vet a fresh day and print flagged apps' behavior evidence",
+    )
+    _add_common(explain)
+    explain.add_argument("--fresh", type=int, default=150,
+                         help="fresh submissions to vet (default 150)")
+    explain.add_argument("--ruleset", default=None,
+                         help="JSON ruleset file (default: bundled rules)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit full behavior reports as JSON")
+    explain.set_defaults(apis=1000, train=300)
+
+    rules = sub.add_parser("rules", help="behavior-ruleset tooling")
+    rules_sub = rules.add_subparsers(dest="rules_command", required=True)
+    lint = rules_sub.add_parser(
+        "lint",
+        help="check a ruleset for authoring mistakes (exit 1 on errors)",
+    )
+    lint.add_argument("ruleset", nargs="?", default=None,
+                      help="JSON ruleset file (default: the bundled rules)")
+    lint.add_argument("--apis", type=int, default=1000,
+                      help="synthetic SDK size used to resolve names "
+                           "(default 1000)")
+    lint.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -302,6 +333,62 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    import json as json_mod
+
+    from repro.core.vetting import VettingService
+    from repro.rules import RuleEvaluator, load_ruleset
+
+    sdk, generator, checker = _build_and_fit(args)
+    rules: "RuleEvaluator | bool" = True
+    if args.ruleset:
+        rules = RuleEvaluator.from_specs(
+            load_ruleset(args.ruleset),
+            sdk,
+            tracked_api_ids=checker.key_api_ids,
+        )
+    service = VettingService(checker, rules=rules)
+    fresh = generator.generate(args.fresh)
+    report = service.process_day(fresh, true_labels=fresh.labels)
+    if args.json:
+        print(json_mod.dumps(
+            [r.to_dict() for r in report.behavior_reports], indent=2
+        ))
+        return 0
+    print(f"{report.n_flagged} of {report.n_apps} submissions flagged")
+    for behavior_report in report.behavior_reports:
+        print(f"  {behavior_report.summary()}")
+        top = behavior_report.hits[0] if behavior_report.hits else None
+        if top is not None:
+            evidence = list(top.matched_apis) + list(
+                top.matched_permissions
+            ) + list(top.matched_intents)
+            print(f"    evidence: {', '.join(evidence)}")
+    return 0
+
+
+def cmd_rules(args) -> int:
+    from repro import AndroidSdk, SdkSpec
+    from repro.rules import builtin_ruleset, lint_ruleset, load_ruleset
+
+    if args.rules_command != "lint":  # pragma: no cover - argparse gate
+        return 2
+    specs = (
+        load_ruleset(args.ruleset) if args.ruleset else builtin_ruleset()
+    )
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=args.apis, seed=args.seed))
+    issues = lint_ruleset(specs, sdk=sdk)
+    for issue in issues:
+        print(issue)
+    n_errors = sum(1 for i in issues if i.severity == "error")
+    n_warnings = len(issues) - n_errors
+    print(
+        f"{len(specs)} rule(s): {n_errors} error(s), "
+        f"{n_warnings} warning(s)"
+    )
+    return 1 if n_errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -310,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         "evolve": cmd_evolve,
         "metrics": cmd_metrics,
         "serve": cmd_serve,
+        "explain": cmd_explain,
+        "rules": cmd_rules,
     }
     return handlers[args.command](args)
 

@@ -16,7 +16,6 @@ capability in.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.android.apk import Apk
@@ -58,7 +57,7 @@ class DiffVetStats:
         return self.fast_paths / self.total if self.total else 0.0
 
     def as_dict(self) -> dict[str, int]:
-        """The legacy ``vetter.stats`` dict shape."""
+        """Plain-dict rendering of the counters (one key per stat)."""
         return {key: getattr(self, key) for key in DIFFVET_STAT_KEYS}
 
 
@@ -140,23 +139,8 @@ class DiffVetter:
 
     @property
     def stats_view(self) -> DiffVetStats:
-        """Typed counter snapshot (the replacement for ``stats``)."""
+        """Typed counter snapshot of the vetter's registry."""
         return DiffVetStats.from_registry(self.registry)
-
-    @property
-    def stats(self) -> dict[str, int]:
-        """Deprecated dict view of the scan counters.
-
-        Kept for one release; use :attr:`stats_view` (typed) or query
-        ``vetter.registry`` directly.
-        """
-        warnings.warn(
-            "DiffVetter.stats is deprecated; use vetter.stats_view "
-            "(DiffVetStats) or vetter.registry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.stats_view.as_dict()
 
     def _full_scan(self, apk: Apk, reason: str) -> DiffDecision:
         verdict = self.checker.vet(apk)

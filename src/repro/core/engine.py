@@ -16,7 +16,6 @@ results to a sequential run.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,8 +54,7 @@ ENGINE_STAT_KEYS = ("submissions", "analyzed", "crashes", "fallbacks",
 class EngineStats:
     """Typed snapshot of one engine's counters, backed by its registry.
 
-    Replaces the raw ``engine.stats`` dict (still available as a
-    deprecated view).  The invariant the reliability story rests on:
+    The invariant the reliability story rests on:
     every submission ends up analyzed or failed —
     ``analyzed + failures <= submissions`` at all times, with equality
     once no analysis is in flight.
@@ -88,7 +86,7 @@ class EngineStats:
         return self.analyzed + self.failures == self.submissions
 
     def as_dict(self) -> dict[str, int]:
-        """The legacy ``engine.stats`` dict shape."""
+        """Plain-dict rendering of the counters (one key per stat)."""
         return {key: getattr(self, key) for key in ENGINE_STAT_KEYS}
 
 
@@ -208,23 +206,8 @@ class DynamicAnalysisEngine:
 
     @property
     def stats_view(self) -> EngineStats:
-        """Typed counter snapshot (the replacement for ``stats``)."""
+        """Typed counter snapshot of the engine's registry."""
         return EngineStats.from_registry(self.registry)
-
-    @property
-    def stats(self) -> dict[str, int]:
-        """Deprecated dict view of the engine counters.
-
-        Kept for one release; use :attr:`stats_view` (typed) or query
-        ``engine.registry`` directly.
-        """
-        warnings.warn(
-            "DynamicAnalysisEngine.stats is deprecated; use "
-            "engine.stats_view (EngineStats) or engine.registry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.stats_view.as_dict()
 
     def crash_waste_minutes(self) -> float:
         """Simulated time a crashed attempt burns before detection.

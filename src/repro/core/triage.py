@@ -14,11 +14,16 @@ The paper treats the two error classes asymmetrically:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.android.apk import Apk
 from repro.core.checker import VetVerdict
+from repro.core.features import AppObservation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.rules import BehaviorReport, RuleEvaluator
 
 #: Manual-inspection cost model (simulated minutes).
 FAST_VET_MINUTES = 6.0          # diff against the previous version
@@ -33,13 +38,20 @@ BARELY_USES_KEYS_MAX = 25
 
 @dataclass(frozen=True)
 class FalsePositiveReport:
-    """Daily FP-triage outcome."""
+    """Daily FP-triage outcome.
+
+    ``behavior_reports`` carries one rule-evidence report per *flagged*
+    app (submission order) when the triage ran with a rule evaluator —
+    the analyst working the FP queue starts from the named behavior and
+    its concrete evidence instead of a bare probability.
+    """
 
     n_flagged: int
     n_confirmed_malicious: int
     n_false_positives: int
     n_fast_vetted: int
     manual_minutes: float
+    behavior_reports: tuple["BehaviorReport", ...] = ()
 
     @property
     def fast_vetted_fraction(self) -> float:
@@ -48,12 +60,18 @@ class FalsePositiveReport:
 
 @dataclass(frozen=True)
 class FalseNegativeReport:
-    """User-report-driven FN-triage outcome."""
+    """User-report-driven FN-triage outcome.
+
+    ``behavior_reports`` names what each *reported* app's observation
+    did evidence (usually very little — that is the §5.2 point: FNs
+    barely touch the monitored surface).
+    """
 
     n_reports: int
     n_confirmed_malicious: int
     n_barely_using_keys: int
     manual_minutes: float
+    behavior_reports: tuple["BehaviorReport", ...] = ()
 
     @property
     def barely_uses_keys_fraction(self) -> float:
@@ -102,19 +120,36 @@ class TriageCenter:
         apps: list[Apk],
         verdicts: list[VetVerdict],
         true_labels: np.ndarray,
+        *,
+        observations: Sequence[AppObservation] | None = None,
+        rules: "RuleEvaluator | None" = None,
     ) -> FalsePositiveReport:
         """Inspect every app APICHECKER flagged today.
 
         Updates whose previous version is known benign ride the fast
-        path; everything else gets a full manual pass.
+        path; everything else gets a full manual pass.  With ``rules``
+        and per-app ``observations`` (aligned with ``apps``), every
+        flagged app's observation is scored against the ruleset and the
+        resulting :class:`~repro.rules.BehaviorReport`\\ s ride along on
+        the returned report.
         """
         if not (len(apps) == len(verdicts) == len(true_labels)):
             raise ValueError("apps, verdicts and labels must align")
+        if observations is not None and len(observations) != len(apps):
+            raise ValueError("observations must align with apps")
         flagged = [
             (apk, bool(label))
             for apk, verdict, label in zip(apps, verdicts, true_labels)
             if verdict.malicious
         ]
+        behavior_reports: tuple = ()
+        if rules is not None and observations is not None:
+            flagged_obs = [
+                obs
+                for obs, verdict in zip(observations, verdicts)
+                if verdict.malicious
+            ]
+            behavior_reports = tuple(rules.evaluate(flagged_obs))
         n_fast = 0
         minutes = 0.0
         n_fp = 0
@@ -143,25 +178,35 @@ class TriageCenter:
             n_false_positives=n_fp,
             n_fast_vetted=n_fast,
             manual_minutes=minutes,
+            behavior_reports=behavior_reports,
         )
 
     def triage_user_reports(
         self,
         published: list[Apk],
         true_labels: np.ndarray,
+        *,
+        observations: Sequence[AppObservation] | None = None,
+        rules: "RuleEvaluator | None" = None,
     ) -> FalseNegativeReport:
         """Handle user reports against published (passed) apps.
 
         Users report a share of the malicious apps that slipped through;
         each report triggers manual analysis (§5.2's passive workflow).
+        With ``rules`` and aligned ``observations``, each reported app's
+        observation is scored so the manual pass starts from whatever
+        behavior evidence exists (typically near none — the FN point).
         """
         if len(published) != len(true_labels):
             raise ValueError("published apps and labels must align")
+        if observations is not None and len(observations) != len(published):
+            raise ValueError("observations must align with published apps")
         n_reports = 0
         n_confirmed = 0
         n_barely = 0
         minutes = 0.0
-        for apk, label in zip(published, true_labels):
+        reported_obs: list[AppObservation] = []
+        for idx, (apk, label) in enumerate(zip(published, true_labels)):
             if not label:
                 continue  # benign published apps do not draw reports
             if self._rng.random() >= self.user_report_prob:
@@ -171,9 +216,15 @@ class TriageCenter:
             n_confirmed += 1
             if self.key_api_usage(apk) <= BARELY_USES_KEYS_MAX:
                 n_barely += 1
+            if observations is not None:
+                reported_obs.append(observations[idx])
+        behavior_reports: tuple = ()
+        if rules is not None and reported_obs:
+            behavior_reports = tuple(rules.evaluate(reported_obs))
         return FalseNegativeReport(
             n_reports=n_reports,
             n_confirmed_malicious=n_confirmed,
             n_barely_using_keys=n_barely,
             manual_minutes=minutes,
+            behavior_reports=behavior_reports,
         )

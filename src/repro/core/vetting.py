@@ -10,7 +10,7 @@ runs the FP triage workflow on everything flagged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +26,7 @@ from repro.core.triage import FalsePositiveReport, TriageCenter
 from repro.corpus.generator import AppCorpus
 from repro.emulator.cluster import ScheduleReport, ServerCluster
 from repro.obs import MetricsRegistry, SpanSink, span
+from repro.rules import BehaviorReport, RuleEvaluator
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,9 @@ class DailyReport:
         cache_misses: observation-cache misses this day.
         wall_seconds: real elapsed time of the day's pipeline run.
         workers: pipeline worker-pool size used.
+        behavior_reports: one rule-evidence report per *flagged* app
+            (submission order) when the service runs with a rule
+            evaluator; empty otherwise.
     """
 
     n_apps: int
@@ -67,6 +71,14 @@ class DailyReport:
     cache_misses: int = 0
     wall_seconds: float = 0.0
     workers: int = 0
+    behavior_reports: tuple[BehaviorReport, ...] = ()
+
+    def explanation_for(self, md5: str) -> BehaviorReport | None:
+        """The rule-evidence report for one flagged app, if any."""
+        for report in self.behavior_reports:
+            if report.apk_md5 == md5:
+                return report
+        return None
 
     @property
     def throughput_per_day(self) -> float:
@@ -125,6 +137,10 @@ class VettingService:
             stack reports through one surface).
         sink: optional span sink for per-day trace events (default:
             the production engine's sink).
+        rules: behavioral rule evaluation for flagged apps — ``True``
+            (default) compiles the bundled ruleset against the
+            checker's key-API hook set, a :class:`~repro.rules.RuleEvaluator`
+            is used as-is, and ``False``/``None`` disables it.
     """
 
     def __init__(
@@ -136,6 +152,7 @@ class VettingService:
         cache: ObservationCache | str | Path | bool | None = None,
         registry: MetricsRegistry | None = None,
         sink: SpanSink | None = None,
+        rules: RuleEvaluator | bool | None = True,
     ):
         checker._require_fitted()
         self.checker = checker
@@ -171,6 +188,16 @@ class VettingService:
             registry=self.registry,
             sink=self.sink,
         )
+        if rules is True:
+            rules = RuleEvaluator.builtin(
+                checker.sdk,
+                tracked_api_ids=checker.key_api_ids,
+                registry=self.registry,
+                sink=self.sink,
+            )
+        elif rules is False:
+            rules = None
+        self.rules = rules
         self.days_processed = 0
 
     def process_day(
@@ -210,11 +237,26 @@ class VettingService:
                 for analysis in result.analyses
             ]
         minutes = np.array([v.analysis_minutes for v in verdicts])
+        observations = [a.observation for a in result.analyses]
+        behavior_reports: tuple[BehaviorReport, ...] = ()
+        if self.rules is not None:
+            flagged_obs = [
+                obs
+                for obs, verdict in zip(observations, verdicts)
+                if verdict.malicious
+            ]
+            behavior_reports = tuple(self.rules.evaluate(flagged_obs))
         fp_report = None
         if true_labels is not None:
             fp_report = self.triage.triage_flagged(
                 list(submissions), verdicts, np.asarray(true_labels)
             )
+            if behavior_reports:
+                # Share the one evaluation already done above instead of
+                # scoring the same flagged observations twice.
+                fp_report = replace(
+                    fp_report, behavior_reports=behavior_reports
+                )
         self.days_processed += 1
         n_flagged = sum(v.malicious for v in verdicts)
         self.registry.inc("service_days_total")
@@ -240,4 +282,5 @@ class VettingService:
             cache_misses=result.cache_misses,
             wall_seconds=result.wall_seconds,
             workers=result.workers,
+            behavior_reports=behavior_reports,
         )

@@ -1,0 +1,51 @@
+"""Behavioral rule engine: scored malicious-behavior evidence.
+
+APICHECKER's classifier emits a probability; analysts need a *reason*.
+``repro.rules`` reconstructs nameable malicious behaviors from the same
+A+P+I observations the classifier consumes, Quark-engine style: a
+declarative :class:`RuleSpec` names a behavior and the permissions,
+key-API invocations and intents that constitute it; the
+:class:`RuleCompiler` resolves names against a concrete SDK and the
+tracked hook set at load time; the vectorized :class:`RuleEvaluator`
+scores observation batches into staged, evidence-carrying
+:class:`BehaviorReport` objects.
+
+See ``docs/rules.md`` for the rule schema and the lint workflow.
+"""
+
+from repro.rules.builtin import BUILTIN_RULESET_JSON, builtin_ruleset
+from repro.rules.compiler import (
+    CompiledRule,
+    CompiledRuleset,
+    RuleCompileError,
+    RuleCompiler,
+)
+from repro.rules.evaluator import RuleEvaluator
+from repro.rules.lint import LintIssue, lint_ruleset
+from repro.rules.report import BehaviorReport, RuleHit
+from repro.rules.spec import (
+    N_STAGES,
+    STAGE_CONFIDENCE,
+    STAGE_NAMES,
+    RuleSpec,
+    load_ruleset,
+)
+
+__all__ = [
+    "BUILTIN_RULESET_JSON",
+    "BehaviorReport",
+    "CompiledRule",
+    "CompiledRuleset",
+    "LintIssue",
+    "N_STAGES",
+    "RuleCompileError",
+    "RuleCompiler",
+    "RuleEvaluator",
+    "RuleHit",
+    "RuleSpec",
+    "STAGE_CONFIDENCE",
+    "STAGE_NAMES",
+    "builtin_ruleset",
+    "lint_ruleset",
+    "load_ruleset",
+]

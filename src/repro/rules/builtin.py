@@ -1,0 +1,147 @@
+"""Bundled starter ruleset covering the corpus malware families.
+
+Every API/permission/intent name below is canonical — guaranteed
+present in every generated SDK (`repro.android.sdk` seeds them
+unconditionally) — so the bundle compiles against any checker.  The
+``families`` lists tie each rule to the corpus archetypes it profiles.
+Two deliberate asymmetries: ``overlay_hijack`` and ``ad_flooding``
+each profile *both* overlay archetypes, because the corpus generates
+them with near-identical A+P+I footprints (both draw system-alert
+views on USER_PRESENT; they differ mainly in monetization) — claiming
+a clean one-to-one mapping there would be dishonest.  And
+``lowkey_spy`` is deliberately uncovered: it barely touches the key
+APIs (the paper's §5.2 false-negative analysis), so no A+P+I rule can
+name its behavior — that blind spot is the point.
+
+Kept as JSON text (not Python literals) so ``repro rules lint`` and the
+docs exercise the exact wire format users author.
+"""
+
+from __future__ import annotations
+
+from repro.rules.spec import RuleSpec, load_ruleset
+
+BUILTIN_RULESET_JSON = """\
+{
+  "version": 1,
+  "rules": [
+    {
+      "behavior": "sms_fraud",
+      "description": "sends premium SMS and reads the victim's number",
+      "apis": [
+        "android.telephony.SmsManager.sendTextMessage",
+        "android.telephony.TelephonyManager.getLine1Number"
+      ],
+      "permissions": [
+        "android.permission.SEND_SMS",
+        "android.permission.READ_SMS"
+      ],
+      "intents": ["android.provider.Telephony.SMS_RECEIVED"],
+      "families": ["sms_fraud"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "spyware_exfiltration",
+      "description": "harvests identifiers and contacts for upload",
+      "apis": [
+        "android.telephony.TelephonyManager.getLine1Number",
+        "android.net.wifi.WifiInfo.getMacAddress"
+      ],
+      "permissions": [
+        "android.permission.READ_CONTACTS",
+        "android.permission.READ_PHONE_STATE"
+      ],
+      "intents": ["android.net.conn.CONNECTIVITY_CHANGE"],
+      "families": ["privacy_stealer"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "locker_ransom",
+      "description": "encrypts user data and persists across reboots",
+      "apis": [
+        "javax.crypto.Cipher.doFinal",
+        "android.database.sqlite.SQLiteDatabase.insertWithOnConflict"
+      ],
+      "permissions": [
+        "android.permission.RECEIVE_BOOT_COMPLETED",
+        "android.permission.WRITE_EXTERNAL_STORAGE"
+      ],
+      "intents": ["android.app.action.DEVICE_ADMIN_ENABLED"],
+      "families": ["ransomware"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "overlay_hijack",
+      "description": "draws over the foreground task to steal input",
+      "apis": [
+        "android.view.WindowManager.addView",
+        "android.app.ActivityManager.getRunningTasks"
+      ],
+      "permissions": [
+        "android.permission.SYSTEM_ALERT_WINDOW",
+        "android.permission.ACCESS_NETWORK_STATE"
+      ],
+      "intents": ["android.intent.action.USER_PRESENT"],
+      "families": ["overlay_attack", "aggressive_adware"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "ad_flooding",
+      "description": "floods the UI with remotely fetched overlay ads",
+      "apis": [
+        "android.view.WindowManager.addView",
+        "java.net.HttpURLConnection.connect"
+      ],
+      "permissions": [
+        "android.permission.SYSTEM_ALERT_WINDOW",
+        "android.permission.ACCESS_NETWORK_STATE"
+      ],
+      "intents": ["android.intent.action.USER_PRESENT"],
+      "families": ["aggressive_adware", "overlay_attack"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "botnet_c2",
+      "description": "boots with the device and polls a command server",
+      "apis": ["java.net.HttpURLConnection.connect"],
+      "permissions": [
+        "android.permission.RECEIVE_BOOT_COMPLETED",
+        "android.permission.WAKE_LOCK",
+        "android.permission.ACCESS_NETWORK_STATE"
+      ],
+      "intents": [
+        "android.intent.action.BOOT_COMPLETED",
+        "android.net.conn.CONNECTIVITY_CHANGE"
+      ],
+      "families": ["botnet"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "privilege_probing",
+      "description": "shells out to probe for root and remount paths",
+      "apis": ["java.lang.Runtime.exec"],
+      "permissions": [
+        "android.permission.WRITE_SECURE_SETTINGS",
+        "android.permission.MOUNT_UNMOUNT_FILESYSTEMS"
+      ],
+      "intents": [],
+      "families": ["rooter"],
+      "weight": 1.0
+    },
+    {
+      "behavior": "dynamic_code_loading",
+      "description": "pulls and loads executable code after install",
+      "apis": ["dalvik.system.DexClassLoader.loadClass"],
+      "permissions": ["android.permission.INSTALL_PACKAGES"],
+      "intents": ["android.intent.action.INSTALL_PACKAGE"],
+      "families": ["update_attack"],
+      "weight": 1.0
+    }
+  ]
+}
+"""
+
+
+def builtin_ruleset() -> tuple[RuleSpec, ...]:
+    """Parse the bundled ruleset (a fresh tuple each call)."""
+    return load_ruleset(BUILTIN_RULESET_JSON)

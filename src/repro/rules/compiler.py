@@ -1,0 +1,208 @@
+"""Rule compilation: names -> ids, validated against SDK + hook set.
+
+Rules are authored with fully-qualified names; evaluation wants dense
+id matrices.  :class:`RuleCompiler` bridges the two at load time:
+
+* every API name must resolve in the target SDK (``sdk.by_name``),
+  every permission/intent name must exist in the SDK's registries —
+  a typo fails compilation with the full list of offenders;
+* API requirements are aligned with the *tracked* hook set (the
+  checker's key-API ids): an API the production engine does not hook
+  can never appear in an observation, so requiring it would make the
+  rule unsatisfiable.  ``on_untracked`` picks the policy: ``"drop"``
+  (default) removes the API from the requirement and records it,
+  ``"error"`` fails compilation, ``"keep"`` leaves it in (useful for
+  offline analysis over full static observations).
+
+The compiled form is a set of requirement matrices over the union of
+everything any rule needs, ready for one-matmul batch evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.android.sdk import AndroidSdk
+from repro.rules.spec import RuleSpec
+
+
+class RuleCompileError(ValueError):
+    """A ruleset failed validation against the target SDK/hook set."""
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """One rule bound to a concrete SDK.
+
+    Attributes:
+        spec: the source rule.
+        api_ids: resolved *tracked* API ids the rule requires.
+        api_names: names aligned with ``api_ids``.
+        dropped_apis: names resolved in the SDK but absent from the
+            tracked hook set (removed under ``on_untracked="drop"``).
+    """
+
+    spec: RuleSpec
+    api_ids: tuple[int, ...]
+    api_names: tuple[str, ...]
+    dropped_apis: tuple[str, ...] = ()
+
+    @property
+    def behavior(self) -> str:
+        return self.spec.behavior
+
+
+class CompiledRuleset:
+    """Requirement matrices for a batch-evaluable set of rules.
+
+    The union axes cover only what some rule requires — evaluation cost
+    scales with the ruleset, not the SDK.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[CompiledRule],
+        dropped_rules: Sequence[tuple[str, str]] = (),
+    ):
+        self.rules: tuple[CompiledRule, ...] = tuple(rules)
+        #: Rules removed entirely at compile time: (behavior, reason).
+        self.dropped_rules: tuple[tuple[str, str], ...] = tuple(dropped_rules)
+        self.api_union: tuple[int, ...] = tuple(
+            sorted({i for r in self.rules for i in r.api_ids})
+        )
+        self.perm_union: tuple[str, ...] = tuple(
+            sorted({p for r in self.rules for p in r.spec.permissions})
+        )
+        self.intent_union: tuple[str, ...] = tuple(
+            sorted({i for r in self.rules for i in r.spec.intents})
+        )
+        self._api_index = {v: i for i, v in enumerate(self.api_union)}
+        self._perm_index = {v: i for i, v in enumerate(self.perm_union)}
+        self._intent_index = {v: i for i, v in enumerate(self.intent_union)}
+        n = len(self.rules)
+        self.R_api = np.zeros((n, len(self.api_union)), dtype=bool)
+        self.R_perm = np.zeros((n, len(self.perm_union)), dtype=bool)
+        self.R_intent = np.zeros((n, len(self.intent_union)), dtype=bool)
+        for row, rule in enumerate(self.rules):
+            for api_id in rule.api_ids:
+                self.R_api[row, self._api_index[api_id]] = True
+            for perm in rule.spec.permissions:
+                self.R_perm[row, self._perm_index[perm]] = True
+            for intent in rule.spec.intents:
+                self.R_intent[row, self._intent_index[intent]] = True
+        self.n_api_required = self.R_api.sum(axis=1)
+        self.n_perm_required = self.R_perm.sum(axis=1)
+        self.n_intent_required = self.R_intent.sum(axis=1)
+        self.weights = np.array(
+            [r.spec.weight for r in self.rules], dtype=float
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def behaviors(self) -> tuple[str, ...]:
+        return tuple(r.behavior for r in self.rules)
+
+
+class RuleCompiler:
+    """Binds :class:`RuleSpec` sets to one SDK + tracked hook set."""
+
+    def __init__(
+        self,
+        sdk: AndroidSdk,
+        tracked_api_ids: Iterable[int] | np.ndarray | None = None,
+        on_untracked: str = "drop",
+    ):
+        """Args:
+            sdk: the SDK rules resolve against.
+            tracked_api_ids: ids the production engine hooks (typically
+                ``checker.key_api_ids``); ``None`` treats every SDK API
+                as observable.
+            on_untracked: ``"drop"`` | ``"error"`` | ``"keep"``.
+        """
+        if on_untracked not in ("drop", "error", "keep"):
+            raise ValueError(
+                f"on_untracked must be 'drop', 'error' or 'keep', "
+                f"got {on_untracked!r}"
+            )
+        self.sdk = sdk
+        self.tracked: set[int] | None = (
+            None
+            if tracked_api_ids is None
+            else {int(i) for i in np.asarray(list(tracked_api_ids), dtype=int)}
+        )
+        self.on_untracked = on_untracked
+
+    def compile(self, specs: Sequence[RuleSpec]) -> CompiledRuleset:
+        """Resolve and validate a whole ruleset (all errors at once)."""
+        errors: list[str] = []
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.behavior in seen:
+                errors.append(f"duplicate rule behavior {spec.behavior!r}")
+            seen.add(spec.behavior)
+        compiled: list[CompiledRule] = []
+        dropped_rules: list[tuple[str, str]] = []
+        for spec in specs:
+            api_ids: list[int] = []
+            api_names: list[str] = []
+            untracked: list[str] = []
+            for name in spec.apis:
+                try:
+                    api_id = int(self.sdk.by_name(name).api_id)
+                except KeyError:
+                    errors.append(
+                        f"rule {spec.behavior!r}: unknown API {name!r}"
+                    )
+                    continue
+                if self.tracked is not None and api_id not in self.tracked:
+                    if self.on_untracked == "error":
+                        errors.append(
+                            f"rule {spec.behavior!r}: API {name!r} is not "
+                            f"in the tracked hook set"
+                        )
+                        continue
+                    if self.on_untracked == "drop":
+                        untracked.append(name)
+                        continue
+                api_ids.append(api_id)
+                api_names.append(name)
+            for perm in spec.permissions:
+                if perm not in self.sdk.permissions:
+                    errors.append(
+                        f"rule {spec.behavior!r}: unknown permission "
+                        f"{perm!r}"
+                    )
+            for intent in spec.intents:
+                if intent not in self.sdk.intents:
+                    errors.append(
+                        f"rule {spec.behavior!r}: unknown intent {intent!r}"
+                    )
+            if not api_ids and not errors:
+                # Resolvable rule whose every API fell out of the hook
+                # set: unsatisfiable past stage 1, drop it whole.
+                dropped_rules.append(
+                    (
+                        spec.behavior,
+                        "no required API is tracked by the hook set",
+                    )
+                )
+                continue
+            compiled.append(
+                CompiledRule(
+                    spec=spec,
+                    api_ids=tuple(api_ids),
+                    api_names=tuple(api_names),
+                    dropped_apis=tuple(untracked),
+                )
+            )
+        if errors:
+            raise RuleCompileError(
+                f"{len(errors)} rule compilation error(s):\n  "
+                + "\n  ".join(errors)
+            )
+        return CompiledRuleset(compiled, dropped_rules)

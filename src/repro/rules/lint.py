@@ -1,0 +1,137 @@
+"""Ruleset linting: catch authoring mistakes before deployment.
+
+``repro rules lint`` (and the CI ``rules-lint`` step) run these checks
+over a ruleset.  Errors are things compilation would reject or that
+make a rule unsatisfiable; warnings flag rules that will evaluate but
+probably not the way the author intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.android.sdk import AndroidSdk
+from repro.rules.spec import RuleSpec
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: ``severity`` is ``"error"`` or ``"warning"``."""
+
+    severity: str
+    behavior: str | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f" [{self.behavior}]" if self.behavior else ""
+        return f"{self.severity}{where}: {self.message}"
+
+
+def _known_family_names() -> set[str]:
+    from repro.corpus.families import BENIGN_ARCHETYPES, MALWARE_ARCHETYPES
+
+    return {a.name for a in MALWARE_ARCHETYPES + BENIGN_ARCHETYPES}
+
+
+def lint_ruleset(
+    specs: Sequence[RuleSpec],
+    sdk: AndroidSdk | None = None,
+) -> list[LintIssue]:
+    """Semantic checks over a parsed ruleset.
+
+    With an ``sdk``, every API/permission/intent name is resolved
+    against it (unresolvable names are errors — the same strictness
+    compilation applies).  Structural validity (non-empty API list,
+    positive weight, no duplicate entries) is already enforced by
+    :class:`RuleSpec` parsing.
+    """
+    issues: list[LintIssue] = []
+    if not specs:
+        issues.append(LintIssue("error", None, "ruleset is empty"))
+        return issues
+    seen: set[str] = set()
+    families = _known_family_names()
+    for spec in specs:
+        if spec.behavior in seen:
+            issues.append(
+                LintIssue(
+                    "error", spec.behavior, "duplicate behavior name"
+                )
+            )
+        seen.add(spec.behavior)
+        if not spec.permissions and not spec.intents:
+            issues.append(
+                LintIssue(
+                    "warning",
+                    spec.behavior,
+                    "rule has no permissions and no intents: it rests "
+                    "on API evidence alone and reaches full confidence "
+                    "from stage 3",
+                )
+            )
+        if not spec.description:
+            issues.append(
+                LintIssue(
+                    "warning",
+                    spec.behavior,
+                    "missing description (analysts see this text)",
+                )
+            )
+        for fam in spec.families:
+            if fam not in families:
+                issues.append(
+                    LintIssue(
+                        "warning",
+                        spec.behavior,
+                        f"unknown corpus family {fam!r} in families",
+                    )
+                )
+        if sdk is not None:
+            for name in spec.apis:
+                try:
+                    sdk.by_name(name)
+                except KeyError:
+                    issues.append(
+                        LintIssue(
+                            "error",
+                            spec.behavior,
+                            f"unknown API {name!r}",
+                        )
+                    )
+            for perm in spec.permissions:
+                if perm not in sdk.permissions:
+                    issues.append(
+                        LintIssue(
+                            "error",
+                            spec.behavior,
+                            f"unknown permission {perm!r}",
+                        )
+                    )
+            for intent in spec.intents:
+                if intent not in sdk.intents:
+                    issues.append(
+                        LintIssue(
+                            "error",
+                            spec.behavior,
+                            f"unknown intent {intent!r}",
+                        )
+                    )
+    # Two rules requiring the identical API set are probably a paste
+    # error; their hits differ only via permissions/intents.
+    by_apis: dict[tuple[str, ...], list[str]] = {}
+    for spec in specs:
+        by_apis.setdefault(tuple(sorted(spec.apis)), []).append(
+            spec.behavior
+        )
+    for names in by_apis.values():
+        if len(names) > 1:
+            issues.append(
+                LintIssue(
+                    "warning",
+                    None,
+                    f"rules {sorted(names)!r} require the identical "
+                    f"API set",
+                )
+            )
+    return issues

@@ -1,0 +1,184 @@
+"""Evidence-carrying behavior reports: what fired, and why.
+
+A :class:`BehaviorReport` is the analyst-facing answer to "why was this
+APK flagged": one :class:`RuleHit` per rule with any concrete evidence,
+each naming the exact APIs/permissions/intents that matched and the
+stage/confidence reached.  Reports are JSON-round-trippable so the
+serving layer can store and replay them (``GET /explain/<md5>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rules.spec import N_STAGES, STAGE_CONFIDENCE, STAGE_NAMES
+
+
+@dataclass(frozen=True)
+class RuleHit:
+    """One rule's evidence against one app."""
+
+    behavior: str
+    stage: int
+    confidence: float
+    score: float
+    weight: float
+    matched_apis: tuple[str, ...] = ()
+    matched_permissions: tuple[str, ...] = ()
+    matched_intents: tuple[str, ...] = ()
+    missing_apis: tuple[str, ...] = ()
+    #: Total requirement items (APIs + permissions + intents) the rule
+    #: declares; lets consumers compute coverage without the spec.
+    n_required: int = 0
+    #: Total logged invocations of the matched APIs (falls back to the
+    #: number of matched APIs when the hook log carries no counts);
+    #: breaks ranking ties by behavioral intensity.
+    matched_api_calls: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.stage <= N_STAGES:
+            raise ValueError(f"stage must be in [0, {N_STAGES}]")
+
+    @property
+    def stage_name(self) -> str:
+        return STAGE_NAMES[self.stage]
+
+    @property
+    def n_matched(self) -> int:
+        return (
+            len(self.matched_apis)
+            + len(self.matched_permissions)
+            + len(self.matched_intents)
+        )
+
+    @property
+    def matched_fraction(self) -> float:
+        """Share of the rule's requirement items this app covered."""
+        if not self.n_required:
+            return 0.0
+        return self.n_matched / self.n_required
+
+    def to_dict(self) -> dict:
+        return {
+            "behavior": self.behavior,
+            "stage": self.stage,
+            "stage_name": self.stage_name,
+            "confidence": self.confidence,
+            "score": self.score,
+            "weight": self.weight,
+            "matched_apis": list(self.matched_apis),
+            "matched_permissions": list(self.matched_permissions),
+            "matched_intents": list(self.matched_intents),
+            "missing_apis": list(self.missing_apis),
+            "n_required": self.n_required,
+            "matched_api_calls": self.matched_api_calls,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RuleHit":
+        return cls(
+            behavior=raw["behavior"],
+            stage=int(raw["stage"]),
+            confidence=float(raw["confidence"]),
+            score=float(raw["score"]),
+            weight=float(raw.get("weight", 1.0)),
+            matched_apis=tuple(raw.get("matched_apis", ())),
+            matched_permissions=tuple(raw.get("matched_permissions", ())),
+            matched_intents=tuple(raw.get("matched_intents", ())),
+            missing_apis=tuple(raw.get("missing_apis", ())),
+            n_required=int(raw.get("n_required", 0)),
+            matched_api_calls=int(raw.get("matched_api_calls", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class BehaviorReport:
+    """All rule evidence for one app, strongest first.
+
+    Attributes:
+        apk_md5: the app.
+        hits: rules with any evidence, sorted by descending score then
+            behavior name (deterministic ranking).
+        n_rules: how many rules were evaluated (hits + silent).
+    """
+
+    apk_md5: str
+    hits: tuple[RuleHit, ...]
+    n_rules: int
+
+    @property
+    def top_behavior(self) -> str | None:
+        """The strongest-evidence behavior, or None when nothing fired."""
+        return self.hits[0].behavior if self.hits else None
+
+    @property
+    def max_stage(self) -> int:
+        return max((h.stage for h in self.hits), default=0)
+
+    @property
+    def total_score(self) -> float:
+        return float(sum(h.score for h in self.hits))
+
+    def hit_for(self, behavior: str) -> RuleHit | None:
+        for hit in self.hits:
+            if hit.behavior == behavior:
+                return hit
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "md5": self.apk_md5,
+            "n_rules": self.n_rules,
+            "top_behavior": self.top_behavior,
+            "max_stage": self.max_stage,
+            "total_score": self.total_score,
+            "hits": [hit.to_dict() for hit in self.hits],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BehaviorReport":
+        return cls(
+            apk_md5=raw["md5"],
+            hits=tuple(RuleHit.from_dict(h) for h in raw.get("hits", ())),
+            n_rules=int(raw.get("n_rules", 0)),
+        )
+
+    def summary(self) -> str:
+        """One analyst-facing line, e.g. for ``repro explain``."""
+        if not self.hits:
+            return f"{self.apk_md5[:12]}: no behavior evidence"
+        top = self.hits[0]
+        return (
+            f"{self.apk_md5[:12]}: {top.behavior} "
+            f"(stage {top.stage}/{N_STAGES}, "
+            f"confidence {top.confidence:.0%}, "
+            f"{len(self.hits)} rule(s) fired)"
+        )
+
+
+def make_hit(
+    behavior: str,
+    stage: int,
+    weight: float,
+    matched_apis: tuple[str, ...],
+    matched_permissions: tuple[str, ...],
+    matched_intents: tuple[str, ...],
+    missing_apis: tuple[str, ...],
+    n_required: int,
+    matched_api_calls: int = 0,
+) -> RuleHit:
+    """Build a hit from a ladder stage (confidence/score derived)."""
+    confidence = STAGE_CONFIDENCE[stage]
+    return RuleHit(
+        behavior=behavior,
+        stage=stage,
+        confidence=confidence,
+        score=weight * confidence,
+        weight=weight,
+        matched_apis=matched_apis,
+        matched_permissions=matched_permissions,
+        matched_intents=matched_intents,
+        missing_apis=missing_apis,
+        n_required=n_required,
+        matched_api_calls=matched_api_calls,
+    )

@@ -1,0 +1,187 @@
+"""Declarative rule format: one behavior, its evidence requirements.
+
+A rule names a malicious behavior and lists the manifest permissions,
+key-API invocations and intents that together constitute it.  Evidence
+is scored on a five-stage confidence ladder (after Quark-engine's
+five-stage criteria, adapted to APICHECKER's A+P+I observation space):
+
+1. any required permission is requested;
+2. ...and at least one required API was invoked;
+3. ...and *all* required APIs were invoked;
+4. ...and *all* required permissions are requested;
+5. ...and *all* required intents were observed.
+
+Stage 1 is vacuously satisfied for a rule without permissions, but
+stage 5 never is: full confidence requires real intent evidence, so an
+intent-less rule tops out at stage 4.  A rule that matched *nothing*
+concrete never climbs the ladder at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Number of confidence stages on the ladder.
+N_STAGES = 5
+
+#: Confidence assigned to each stage (index 0 = no evidence).
+STAGE_CONFIDENCE = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Human-readable stage labels (index 0 = no evidence).
+STAGE_NAMES = (
+    "no_evidence",
+    "permission_requested",
+    "api_invoked",
+    "all_apis_invoked",
+    "apis_and_permissions",
+    "full_behavior",
+)
+
+#: Keys a rule dict may carry; anything else is a spec error.
+_ALLOWED_KEYS = frozenset(
+    {
+        "behavior",
+        "description",
+        "families",
+        "permissions",
+        "apis",
+        "intents",
+        "weight",
+    }
+)
+
+
+def _str_tuple(value, key: str, behavior: str) -> tuple[str, ...]:
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise ValueError(
+            f"rule {behavior!r}: {key} must be a list of strings"
+        )
+    out = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise ValueError(
+                f"rule {behavior!r}: {key} entries must be non-empty "
+                f"strings, got {item!r}"
+            )
+        out.append(item)
+    if len(set(out)) != len(out):
+        raise ValueError(f"rule {behavior!r}: duplicate entries in {key}")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One declarative behavior rule.
+
+    Attributes:
+        behavior: unique behavior name (e.g. ``sms_fraud``).
+        description: one-line analyst-facing summary.
+        apis: fully-qualified API names whose *invocation* evidences the
+            behavior; at least one is required.
+        permissions: manifest permission names that gate the behavior.
+        intents: intent actions (received or sent) the full behavior
+            observes.
+        families: corpus archetype names this rule profiles — used by
+            the family-separation tests and ``repro explain`` output,
+            not by evaluation.
+        weight: score multiplier (``score = weight * confidence``).
+    """
+
+    behavior: str
+    apis: tuple[str, ...]
+    description: str = ""
+    permissions: tuple[str, ...] = ()
+    intents: tuple[str, ...] = ()
+    families: tuple[str, ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.behavior or not isinstance(self.behavior, str):
+            raise ValueError("rule behavior name must be a non-empty string")
+        if not self.apis:
+            raise ValueError(
+                f"rule {self.behavior!r}: needs at least one required API"
+            )
+        if not (self.weight > 0.0):
+            raise ValueError(
+                f"rule {self.behavior!r}: weight must be positive, "
+                f"got {self.weight}"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RuleSpec":
+        """Parse one rule dict, rejecting unknown keys loudly."""
+        if not isinstance(raw, dict):
+            raise ValueError(f"a rule must be a JSON object, got {raw!r}")
+        behavior = raw.get("behavior")
+        if not isinstance(behavior, str) or not behavior:
+            raise ValueError(
+                f"rule is missing a 'behavior' name: {sorted(raw)!r}"
+            )
+        unknown = set(raw) - _ALLOWED_KEYS
+        if unknown:
+            raise ValueError(
+                f"rule {behavior!r}: unknown keys {sorted(unknown)!r} "
+                f"(allowed: {sorted(_ALLOWED_KEYS)!r})"
+            )
+        weight = raw.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise ValueError(f"rule {behavior!r}: weight must be a number")
+        return cls(
+            behavior=behavior,
+            description=str(raw.get("description", "")),
+            apis=_str_tuple(raw.get("apis", ()), "apis", behavior),
+            permissions=_str_tuple(
+                raw.get("permissions", ()), "permissions", behavior
+            ),
+            intents=_str_tuple(raw.get("intents", ()), "intents", behavior),
+            families=_str_tuple(
+                raw.get("families", ()), "families", behavior
+            ),
+            weight=float(weight),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "behavior": self.behavior,
+            "description": self.description,
+            "apis": list(self.apis),
+            "permissions": list(self.permissions),
+            "intents": list(self.intents),
+            "families": list(self.families),
+            "weight": self.weight,
+        }
+
+
+def load_ruleset(source: str | Path | list) -> tuple[RuleSpec, ...]:
+    """Load a ruleset from a JSON file path, JSON text, or dict list.
+
+    The JSON form is either a bare list of rule objects or
+    ``{"version": 1, "rules": [...]}``.
+    """
+    if isinstance(source, Path):
+        raw = json.loads(source.read_text(encoding="utf-8"))
+    elif isinstance(source, str):
+        text = source
+        if not text.lstrip().startswith(("[", "{")):
+            text = Path(source).read_text(encoding="utf-8")
+        raw = json.loads(text)
+    else:
+        raw = source
+    if isinstance(raw, dict):
+        version = raw.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported ruleset version: {version!r}")
+        raw = raw.get("rules")
+    if not isinstance(raw, list):
+        raise ValueError("a ruleset must be a JSON list of rule objects")
+    specs = tuple(RuleSpec.from_dict(entry) for entry in raw)
+    seen: dict[str, int] = {}
+    for spec in specs:
+        seen[spec.behavior] = seen.get(spec.behavior, 0) + 1
+    dupes = sorted(name for name, n in seen.items() if n > 1)
+    if dupes:
+        raise ValueError(f"duplicate rule behaviors: {dupes!r}")
+    return specs

@@ -9,7 +9,12 @@ adds no dependencies.  Endpoints:
 * ``GET /result/<md5>`` — ``200`` with the terminal outcome, ``202``
   with ``{"status": "pending"|"in_flight"}`` while queued, ``404`` for
   an unknown md5.
+* ``GET /explain/<md5>`` — ``200`` with the behavior-rule evidence for
+  a terminal submission (``explanation`` is ``null`` for clean ones),
+  ``202`` while queued, ``404`` for an unknown md5.
 * ``GET /healthz`` — liveness + active model version + queue depth.
+
+Every error (including 404s) carries a JSON body with an ``error`` key.
 * ``GET /metrics`` — Prometheus text exposition of the unified
   :class:`~repro.obs.MetricsRegistry` (engine, pipeline, queue, model
   registry, and service counters in one scrape).
@@ -58,6 +63,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
         pass
 
+    def _send_state(self, payload: dict, md5: str) -> None:
+        """Map a submission-state payload onto 200/202/404."""
+        state = payload.get("status")
+        if state in ("done", "failed"):
+            self._send_json(200, payload)
+        elif state in ("pending", "in_flight"):
+            self._send_json(202, payload)
+        else:
+            self._send_json(
+                404, {**payload, "error": f"unknown submission: {md5}"}
+            )
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -75,14 +92,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif path.startswith("/result/"):
             md5 = path[len("/result/"):]
-            outcome = service.result(md5)
-            state = outcome.get("status")
-            if state in ("done", "failed"):
-                self._send_json(200, outcome)
-            elif state in ("pending", "in_flight"):
-                self._send_json(202, outcome)
-            else:
-                self._send_json(404, outcome)
+            self._send_state(service.result(md5), md5)
+        elif path.startswith("/explain/"):
+            md5 = path[len("/explain/"):]
+            self._send_state(service.explain(md5), md5)
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
 

@@ -22,6 +22,7 @@ from repro.android.apk import Apk
 from repro.core.pipeline import ObservationCache, VettingPipeline
 from repro.emulator.cluster import ServerCluster
 from repro.obs import MetricsRegistry, SpanSink
+from repro.rules import RuleEvaluator
 from repro.serve.queue import (
     QueueFullError,
     SubmissionQueue,
@@ -60,6 +61,12 @@ class OnlineVettingService:
         cluster: hardware model for the pipeline (default: the paper's
             single 16-slot server).
         poll_seconds: dispatcher wait per idle cycle.
+        rules: behavioral rule evaluation for flagged submissions —
+            ``True`` (default) compiles the bundled ruleset against
+            each model version's key-API hook set (cached per version),
+            ``False`` disables it.  Explanations are embedded in the
+            WAL-recorded outcome, so they survive restart and are
+            served by ``GET /explain/<md5>``.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class OnlineVettingService:
         sink: SpanSink | None = None,
         cluster: ServerCluster | None = None,
         poll_seconds: float = 0.05,
+        rules: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -100,6 +108,10 @@ class OnlineVettingService:
         #: md5 -> terminal outcome dict; seeded with outcomes the queue
         #: recovered from its WAL so completed work is never re-scored.
         self.results: dict[str, dict] = dict(self.queue.completed)
+        self.rules_enabled = bool(rules)
+        #: model version -> compiled evaluator; populated lazily by the
+        #: dispatcher thread (the only writer).
+        self._evaluators: dict[int, RuleEvaluator] = {}
         self._accept_wall: dict[int, float] = {}
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
@@ -133,6 +145,25 @@ class OnlineVettingService:
         outcome = self.results.get(md5)
         if outcome is not None:
             return outcome
+        return {"md5": md5, "status": self.queue.status(md5)}
+
+    def explain(self, md5: str) -> dict:
+        """Behavior-rule evidence for one submission.
+
+        Returns ``{md5, status, explanation}`` where ``explanation`` is
+        a :meth:`~repro.rules.BehaviorReport.to_dict` payload for
+        flagged submissions scored with rules enabled, and ``None`` for
+        clean, failed, or pre-rules outcomes.  Non-terminal submissions
+        report their queue status with no explanation yet.
+        """
+        outcome = self.results.get(md5)
+        if outcome is not None:
+            return {
+                "md5": md5,
+                "status": outcome["status"],
+                "malicious": outcome.get("malicious"),
+                "explanation": outcome.get("explanation"),
+            }
         return {"md5": md5, "status": self.queue.status(md5)}
 
     def healthz(self) -> dict:
@@ -220,6 +251,24 @@ class OnlineVettingService:
                     self._processing -= len(batch)
                     self._idle.notify_all()
 
+    def _evaluator_for(self, version: int, checker) -> RuleEvaluator:
+        """The rule evaluator compiled for one model version.
+
+        Key-API sets differ per fitted checker, so each version gets
+        its own compilation; only the dispatcher thread touches the
+        cache.
+        """
+        evaluator = self._evaluators.get(version)
+        if evaluator is None:
+            evaluator = RuleEvaluator.builtin(
+                checker.sdk,
+                tracked_api_ids=checker.key_api_ids,
+                registry=self.metrics,
+                sink=self.sink,
+            )
+            self._evaluators[version] = evaluator
+        return evaluator
+
     def _process_batch(self, batch: list[SubmissionRecord]) -> None:
         """Analyze and score one micro-batch under one model lease."""
         self.metrics.inc("serve_batches_total")
@@ -271,6 +320,12 @@ class OnlineVettingService:
                         analysis.observation
                     )
                     agreed = shadow_verdict.malicious == verdict.malicious
+                explanation = None
+                if self.rules_enabled and verdict.malicious:
+                    report = self._evaluator_for(
+                        version, checker
+                    ).evaluate_one(analysis.observation)
+                    explanation = report.to_dict()
                 outcomes.append(
                     (
                         entry,
@@ -285,6 +340,7 @@ class OnlineVettingService:
                             "model_version": version,
                             "shadow_model_version": shadow_version,
                             "lane": lane_name(entry.lane),
+                            "explanation": explanation,
                         },
                         agreed,
                     )

@@ -114,14 +114,15 @@ def test_fast_path_fraction_reporting(vetter, sdk, catalog):
     assert 0.0 <= vetter.fast_path_fraction <= 1.0
 
 
-def test_stats_dict_is_deprecated(vetter, generator):
+def test_stats_dict_is_removed(vetter, generator):
+    """The deprecated ``vetter.stats`` dict property is gone.
+
+    ``stats_view.as_dict()`` keeps the same shape for callers that
+    genuinely need a dict (e.g. JSON rendering).
+    """
     vetter.vet(generator.sample_app(malicious=False, update_prob=0.0))
-    with pytest.warns(DeprecationWarning, match="stats_view"):
-        legacy = vetter.stats
-    # The dict view is generated from the registry, so it can never
-    # disagree with the typed view during the deprecation window.
-    assert legacy == vetter.stats_view.as_dict()
-    assert legacy["full_scans"] == 1
+    assert not hasattr(vetter, "stats")
+    assert vetter.stats_view.as_dict()["full_scans"] == 1
 
 
 def test_counters_land_in_shared_registry(fitted_checker, generator):

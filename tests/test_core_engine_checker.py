@@ -27,15 +27,16 @@ def test_engine_analyzes_everything(sdk, corpus):
         assert a.observation.apk_md5 == a.result.apk_md5
 
 
-def test_engine_stats_dict_is_deprecated(sdk, corpus):
+def test_engine_stats_dict_is_removed(sdk, corpus):
+    """The deprecated ``engine.stats`` dict property is gone.
+
+    ``stats_view.as_dict()`` keeps the same shape for callers that
+    genuinely need a dict (e.g. JSON rendering).
+    """
     engine = DynamicAnalysisEngine(sdk, [], seed=1)
     engine.analyze_corpus(corpus.subset(range(3)))
-    with pytest.warns(DeprecationWarning, match="stats_view"):
-        legacy = engine.stats
-    # The dict view is generated from the registry, so it can never
-    # disagree with the typed view during the deprecation window.
-    assert legacy == engine.stats_view.as_dict()
-    assert legacy["analyzed"] == 3
+    assert not hasattr(engine, "stats")
+    assert engine.stats_view.as_dict()["analyzed"] == 3
 
 
 def test_engine_falls_back_on_incompatible(sdk, generator):

@@ -21,6 +21,7 @@ PUBLIC_API = frozenset(
         "Apk",
         "AppCorpus",
         "AppObservation",
+        "BehaviorReport",
         "CorpusGenerator",
         "DynamicAnalysisEngine",
         "EngineStats",
@@ -36,6 +37,9 @@ PUBLIC_API = frozenset(
         "QueueFullError",
         "RandomForest",
         "ReviewPipeline",
+        "RuleEvaluator",
+        "RuleHit",
+        "RuleSpec",
         "SdkSpec",
         "ShadowPromotionGate",
         "SpanSink",
@@ -45,7 +49,10 @@ PUBLIC_API = frozenset(
         "VetVerdict",
         "VettingPipeline",
         "VettingService",
+        "builtin_ruleset",
         "default_registry",
+        "lint_ruleset",
+        "load_ruleset",
         "make_server",
         "select_key_apis",
         "span",
@@ -85,12 +92,11 @@ def test_observability_surface_reexported():
     assert stats.submissions == 0 and stats.settled
 
 
-def test_no_in_tree_use_of_deprecated_stats_dicts():
-    """The deprecated ``.stats`` dict views must not be used in-tree.
+def test_no_in_tree_use_of_removed_stats_dicts():
+    """The removed ``.stats`` dict views must not creep back in.
 
     Static sweep: no module under ``src/repro`` or ``benchmarks``
-    reads ``engine.stats`` / ``vetter.stats`` (the defining modules
-    keep the deprecated properties themselves; ``ml.stats`` and
+    reads ``engine.stats`` / ``vetter.stats`` (``ml.stats`` and
     ``stats_view`` are unrelated).  Anything new should go through the
     typed views or the registry.
     """
@@ -99,31 +105,33 @@ def test_no_in_tree_use_of_deprecated_stats_dicts():
 
     root = Path(repro.__file__).resolve().parent
     bench = root.parent.parent / "benchmarks"
-    # A deprecated read looks like `<obj>.stats` NOT followed by a word
-    # character (stats_view) and not the ml.stats module path.  The two
-    # modules defining the deprecated properties mention them in their
-    # own docstrings/warning text and are skipped.
+    # A removed-style read looks like `<obj>.stats` NOT followed by a
+    # word character (stats_view) and not the ml.stats module path.
     pattern = re.compile(r"\b(\w+)\.stats\b(?!\w)")
-    definition_sites = {"core/engine.py", "core/diffvet.py"}
     offenders = []
     for base in (root, bench):
         for path in sorted(base.rglob("*.py")):
             rel = path.relative_to(base.parent)
-            if path.relative_to(base).as_posix() in definition_sites:
-                continue
             for line_no, line in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1
             ):
                 for match in pattern.finditer(line):
                     obj = match.group(1)
-                    if obj in ("ml", "repro", "self"):
-                        # ml.stats is a module; self.stats is the
-                        # deprecated property's own definition site.
+                    if obj in ("ml", "repro"):
+                        # ml.stats is a module, not the removed view.
                         continue
                     offenders.append(f"{rel}:{line_no}: {line.strip()}")
     assert not offenders, (
-        "deprecated .stats dict view used in-tree:\n" + "\n".join(offenders)
+        "removed .stats dict view used in-tree:\n" + "\n".join(offenders)
     )
+
+
+def test_removed_stats_properties_stay_removed(fitted_checker):
+    """``engine.stats`` / ``vetter.stats`` were removed; keep them out."""
+    from repro.core.diffvet import DiffVetter
+
+    assert not hasattr(fitted_checker.production_engine, "stats")
+    assert not hasattr(DiffVetter(fitted_checker), "stats")
 
 
 def test_vetting_paths_raise_no_deprecation_warnings(

@@ -91,6 +91,95 @@ def test_result_unknown_md5_is_404(served):
     assert outcome["status"] == "unknown"
 
 
+def test_404_bodies_carry_json_error_key(served):
+    """Every 404 body is JSON with an ``error`` key naming the miss."""
+    _, base = served
+    for endpoint in ("result", "explain"):
+        status, body = _get(f"{base}/{endpoint}/deadbeef")
+        assert status == 404
+        assert body["status"] == "unknown"
+        assert "deadbeef" in body["error"]
+    status, body = _get(f"{base}/nope")
+    assert status == 404 and "no such endpoint" in body["error"]
+
+
+def _drain_result(base, md5, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, outcome = _get(f"{base}/result/{md5}")
+        if status == 200:
+            return outcome
+        time.sleep(0.02)
+    raise AssertionError(f"submission {md5} never reached a terminal state")
+
+
+def test_explain_serves_rule_evidence_for_flagged(served, generator):
+    service, base = served
+    apk = generator.sample_app(malicious=True)
+    status, _ = _post(f"{base}/submit", apk_to_dict(apk))
+    assert status == 202
+    outcome = _drain_result(base, apk.md5)
+    status, explained = _get(f"{base}/explain/{apk.md5}")
+    assert status == 200
+    assert explained["md5"] == apk.md5
+    assert explained["malicious"] == outcome["malicious"]
+    if not outcome["malicious"]:  # classifier FN: nothing to explain
+        assert explained["explanation"] is None
+        return
+    explanation = explained["explanation"]
+    assert explanation["md5"] == apk.md5
+    assert explanation["n_rules"] > 0
+    for hit in explanation["hits"]:
+        assert 1 <= hit["stage"] <= 5
+        assert hit["matched_apis"] or hit["matched_permissions"] or (
+            hit["matched_intents"]
+        )
+
+
+def test_explain_is_null_for_clean_apps(served, generator):
+    service, base = served
+    apk = generator.sample_app(malicious=False)
+    _post(f"{base}/submit", apk_to_dict(apk))
+    outcome = _drain_result(base, apk.md5)
+    status, explained = _get(f"{base}/explain/{apk.md5}")
+    assert status == 200
+    if outcome["malicious"]:  # classifier FP still gets an explanation
+        assert explained["explanation"] is not None
+        return
+    assert explained["explanation"] is None
+
+
+def test_explain_pending_is_202(tmp_path, fitted_checker, generator):
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(fitted_checker, activate=True)
+    # Not started: the submission stays queued.
+    service = OnlineVettingService(models)
+    server = make_server(service).start_background()
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        apk = generator.sample_app()
+        _post(f"{base}/submit", apk_to_dict(apk))
+        status, body = _get(f"{base}/explain/{apk.md5}")
+        assert status == 202
+        assert body["status"] == "pending"
+    finally:
+        server.stop()
+        service.close()
+
+
+def test_explain_metrics_land_in_scrape(served, generator):
+    """A flagged submission bumps ``rules_evaluations_total``."""
+    service, base = served
+    for _ in range(6):
+        apk = generator.sample_app(malicious=True)
+        _post(f"{base}/submit", apk_to_dict(apk))
+    assert service.drain(60.0)
+    text = urllib.request.urlopen(
+        f"{base}/metrics", timeout=10.0
+    ).read().decode()
+    assert "rules_evaluations_total" in text
+
+
 def test_malformed_submissions_are_400(served, generator):
     _, base = served
     status, err = _post(f"{base}/submit", None, raw=b"{not json")
