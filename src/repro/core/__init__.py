@@ -19,7 +19,12 @@ from repro.core.checker import ApiChecker, VetVerdict
 from repro.core.diffvet import DiffDecision, DiffVetter
 from repro.core.engine import AnalysisFailure, AppAnalysis, DynamicAnalysisEngine
 from repro.core.evolution import EvolutionLoop, MonthlyRecord
-from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+from repro.core.features import (
+    AppObservation,
+    FeatureBlock,
+    FeatureMode,
+    FeatureSpace,
+)
 from repro.core.pipeline import (
     ObservationCache,
     PipelineResult,
@@ -45,6 +50,7 @@ __all__ = [
     "DailyReport",
     "DynamicAnalysisEngine",
     "EvolutionLoop",
+    "FeatureBlock",
     "FeatureMode",
     "FeatureSpace",
     "KeyApiSelection",

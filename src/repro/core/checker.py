@@ -13,14 +13,19 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.android.apk import Apk
 from repro.android.sdk import AndroidSdk
 from repro.core.engine import DynamicAnalysisEngine
-from repro.core.features import AppObservation, FeatureMode, FeatureSpace
+from repro.core.features import (
+    AppObservation,
+    FeatureBlock,
+    FeatureMode,
+    FeatureSpace,
+)
 from repro.core.selection import (
     KeyApiSelection,
     invocation_matrix,
@@ -204,6 +209,22 @@ class ApiChecker:
         X = self.feature_space.encode(observation)[None, :]
         return float(self.classifier.predict_proba(X)[0])
 
+    def score_block(self, block: FeatureBlock) -> np.ndarray:
+        """Malice probabilities for a whole feature block at once."""
+        self._require_fitted()
+        return self.classifier.predict_proba_batch(block)
+
+    def score_observations(
+        self, observations: Sequence[AppObservation]
+    ) -> np.ndarray:
+        """Batch-score observations: one columnar encode, one blocked
+        classifier call.  Bitwise identical to scoring each observation
+        alone (the batch equivalence battery pins this)."""
+        self._require_fitted()
+        return self.score_block(
+            self.feature_space.encode_block(observations)
+        )
+
     def verdict_from_observation(
         self,
         observation: AppObservation,
@@ -228,6 +249,44 @@ class ApiChecker:
             fell_back=fell_back,
         )
 
+    def verdicts_from_observations(
+        self,
+        observations: Sequence[AppObservation],
+        analysis_minutes: Sequence[float] | None = None,
+        fell_back: Sequence[bool] | None = None,
+    ) -> list[VetVerdict]:
+        """Batched :meth:`verdict_from_observation`: the whole batch is
+        scored with one blocked classifier call.
+
+        Args:
+            observations: observations to classify (may be empty).
+            analysis_minutes: optional per-app wall-clock overrides,
+                aligned with ``observations``.
+            fell_back: optional per-app fallback flags, aligned with
+                ``observations``.
+        """
+        observations = list(observations)
+        probs = self.score_observations(observations)
+        verdicts = []
+        for i, obs in enumerate(observations):
+            prob = float(probs[i])
+            verdicts.append(
+                VetVerdict(
+                    apk_md5=obs.apk_md5,
+                    malicious=prob >= self.decision_threshold,
+                    probability=prob,
+                    analysis_minutes=(
+                        obs.analysis_minutes
+                        if analysis_minutes is None
+                        else float(analysis_minutes[i])
+                    ),
+                    fell_back=(
+                        False if fell_back is None else bool(fell_back[i])
+                    ),
+                )
+            )
+        return verdicts
+
     def vet(self, apk: Apk) -> VetVerdict:
         """Analyze and classify one submitted APK."""
         self._require_fitted()
@@ -239,7 +298,19 @@ class ApiChecker:
         )
 
     def vet_batch(self, corpus: AppCorpus | list[Apk]) -> list[VetVerdict]:
-        return [self.vet(apk) for apk in corpus]
+        """Analyze each APK, then score the whole batch in one block.
+
+        Emulation is inherently per-app; classification is not, so the
+        scoring hot path runs once over the full batch.  Empty input
+        yields an empty verdict list.
+        """
+        self._require_fitted()
+        analyses = [self._prod_engine.analyze(apk) for apk in corpus]
+        return self.verdicts_from_observations(
+            [a.observation for a in analyses],
+            analysis_minutes=[a.total_minutes for a in analyses],
+            fell_back=[a.fell_back for a in analyses],
+        )
 
     def evaluate(
         self, corpus: AppCorpus, labels: np.ndarray | None = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -182,40 +183,217 @@ class FeatureSpace:
             return "permission"
         return "intent"
 
+    def _obs_columns(self, obs: AppObservation) -> list[int]:
+        """Set columns for one observation (duplicates permitted).
+
+        The single source of truth for the observation → column
+        mapping: :meth:`encode` and the columnar
+        :meth:`FeatureBlock.from_observations` both scatter exactly
+        these indices, which is what makes the two representations
+        bit-identical by construction.
+        """
+        cols: list[int] = []
+        if self.mode.uses_apis:
+            api_col = self._api_col
+            for api_id in obs.invoked_api_ids:
+                col = api_col.get(int(api_id))
+                if col is not None:
+                    cols.append(col)
+            if self.encoding == "histogram":
+                for api_id, count in obs.invoked_api_counts:
+                    col = api_col.get(int(api_id))
+                    if col is None:
+                        continue
+                    cols.append(col)
+                    for j, bucket in enumerate(HISTOGRAM_BUCKETS):
+                        if count >= bucket:
+                            cols.append(col + 1 + j)
+        if self.mode.uses_permissions:
+            perm_col = self._perm_col
+            for name in obs.permissions:
+                col = perm_col.get(name)
+                if col is not None:
+                    cols.append(col)
+        if self.mode.uses_intents:
+            intent_col = self._intent_col
+            for name in obs.intents:
+                col = intent_col.get(name)
+                if col is not None:
+                    cols.append(col)
+        return cols
+
     def encode(self, obs: AppObservation) -> np.ndarray:
         """One observation -> uint8 vector."""
         vec = np.zeros(self.n_features, dtype=np.uint8)
-        if self.mode.uses_apis:
-            for api_id in obs.invoked_api_ids:
-                col = self._api_col.get(int(api_id))
-                if col is not None:
-                    vec[col] = 1
-            if self.encoding == "histogram":
-                for api_id, count in obs.invoked_api_counts:
-                    col = self._api_col.get(int(api_id))
-                    if col is None:
-                        continue
-                    vec[col] = 1
-                    for j, bucket in enumerate(HISTOGRAM_BUCKETS):
-                        if count >= bucket:
-                            vec[col + 1 + j] = 1
-        if self.mode.uses_permissions:
-            for name in obs.permissions:
-                col = self._perm_col.get(name)
-                if col is not None:
-                    vec[col] = 1
-        if self.mode.uses_intents:
-            for name in obs.intents:
-                col = self._intent_col.get(name)
-                if col is not None:
-                    vec[col] = 1
+        vec[self._obs_columns(obs)] = 1
         return vec
+
+    def encode_block(
+        self, observations: Sequence[AppObservation]
+    ) -> "FeatureBlock":
+        """Observations -> columnar :class:`FeatureBlock` (0 rows legal)."""
+        return FeatureBlock.from_observations(self, observations)
 
     def encode_batch(self, observations: list[AppObservation]) -> np.ndarray:
         """Observations -> (n, n_features) uint8 matrix."""
         if not observations:
             raise ValueError("cannot encode an empty batch")
-        X = np.zeros((len(observations), self.n_features), dtype=np.uint8)
-        for i, obs in enumerate(observations):
-            X[i] = self.encode(obs)
-        return X
+        return self.encode_block(observations).matrix
+
+    def mode_columns(self, mode: FeatureMode) -> np.ndarray:
+        """Column indices of this layout belonging to a sub-mode.
+
+        ``mode`` may only use feature families this space has; the API
+        block keeps its histogram bits when that encoding is active.
+        """
+        for family, present in (
+            ("apis", not mode.uses_apis or self.mode.uses_apis),
+            (
+                "permissions",
+                not mode.uses_permissions or self.mode.uses_permissions,
+            ),
+            ("intents", not mode.uses_intents or self.mode.uses_intents),
+        ):
+            if not present:
+                raise ValueError(
+                    f"mode {mode.value} needs {family} but this space "
+                    f"was built as {self.mode.value}"
+                )
+        api_width = len(self.api_ids) * self._bits_per_api
+        perm_width = len(self.permission_names)
+        pieces = []
+        if mode.uses_apis:
+            pieces.append(np.arange(api_width))
+        if mode.uses_permissions:
+            pieces.append(np.arange(api_width, api_width + perm_width))
+        if mode.uses_intents:
+            base = api_width + perm_width
+            pieces.append(np.arange(base, self.n_features))
+        return (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=int)
+        )
+
+
+class FeatureBlock:
+    """Columnar apps × features batch: one contiguous uint8 matrix.
+
+    The unit of the batched scoring hot path: built straight from
+    (cached) observations, indexed by apk md5, handed whole to
+    :meth:`repro.ml.base.Classifier.predict_proba_batch`.  Row ``i``
+    is exactly ``space.encode(observations[i])`` — the pipeline
+    property tests pin the round trip.
+
+    Args:
+        matrix: (n_apps, n_features) uint8 matrix (copied to a
+            C-contiguous uint8 array when needed).
+        md5s: per-row apk md5s, aligned with the matrix.
+        space: the :class:`FeatureSpace` that defined the columns
+            (optional for derived blocks, e.g. column slices).
+    """
+
+    __slots__ = ("matrix", "md5s", "space", "_row_index")
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        md5s: Sequence[str],
+        space: "FeatureSpace | None" = None,
+    ):
+        matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"feature matrix must be 2-D, got shape {matrix.shape}"
+            )
+        md5s = tuple(md5s)
+        if len(md5s) != matrix.shape[0]:
+            raise ValueError(
+                f"{len(md5s)} md5s for {matrix.shape[0]} matrix rows"
+            )
+        self.matrix = matrix
+        self.md5s = md5s
+        self.space = space
+        self._row_index: dict[str, int] | None = None
+
+    @classmethod
+    def from_observations(
+        cls,
+        space: "FeatureSpace",
+        observations: Sequence[AppObservation],
+    ) -> "FeatureBlock":
+        """Columnar construction: one scatter into the whole matrix.
+
+        Column indices are gathered per observation (cheap dict
+        lookups) and written with a single flat fancy-index
+        assignment, instead of materializing one encoded vector per
+        app.  Zero observations yield a legal 0-row block.
+        """
+        n_features = space.n_features
+        matrix = np.zeros((len(observations), n_features), dtype=np.uint8)
+        flat: list[int] = []
+        for row, obs in enumerate(observations):
+            base = row * n_features
+            flat.extend(base + col for col in space._obs_columns(obs))
+        if flat:
+            matrix.ravel()[np.asarray(flat, dtype=np.intp)] = 1
+        return cls(
+            matrix, tuple(obs.apk_md5 for obs in observations), space
+        )
+
+    @property
+    def n_apps(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def __getitem__(self, row: int) -> np.ndarray:
+        """The feature vector of one row."""
+        return self.matrix[row]
+
+    def row_of(self, md5: str) -> int:
+        """Row index of an md5 (first occurrence wins on resubmission)."""
+        if self._row_index is None:
+            index: dict[str, int] = {}
+            for row, md5_ in enumerate(self.md5s):
+                index.setdefault(md5_, row)
+            self._row_index = index
+        try:
+            return self._row_index[md5]
+        except KeyError:
+            raise KeyError(f"md5 {md5!r} not in this block") from None
+
+    def take(self, rows) -> "FeatureBlock":
+        """Sub-block of the given rows (any integer index array)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        return FeatureBlock(
+            self.matrix[rows],
+            tuple(self.md5s[int(r)] for r in rows),
+            self.space,
+        )
+
+    def select(self, md5s: Sequence[str]) -> "FeatureBlock":
+        """Sub-block for the given md5s, in the given order."""
+        return self.take([self.row_of(md5) for md5 in md5s])
+
+    def slice_mode(self, mode: FeatureMode) -> "FeatureBlock":
+        """Columns of a sub-mode (Fig. 10's A/P/I ablation axis).
+
+        The returned block carries no :class:`FeatureSpace` — its
+        column layout no longer matches the parent space.
+        """
+        if self.space is None:
+            raise ValueError("cannot slice a block without a FeatureSpace")
+        cols = self.space.mode_columns(mode)
+        return FeatureBlock(
+            np.ascontiguousarray(self.matrix[:, cols]), self.md5s, None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FeatureBlock {self.n_apps} apps x "
+            f"{self.n_features} features>"
+        )

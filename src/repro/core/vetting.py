@@ -228,14 +228,13 @@ class VettingService:
                     f"{len(result.failures)} submissions could not be "
                     f"analyzed by any backend: {detail}"
                 )
-            verdicts = [
-                self.checker.verdict_from_observation(
-                    analysis.observation,
-                    analysis_minutes=analysis.total_minutes,
-                    fell_back=analysis.fell_back,
-                )
-                for analysis in result.analyses
-            ]
+            # One blocked scoring call for the whole day — the columnar
+            # batch path, not a per-app loop.
+            verdicts = self.checker.verdicts_from_observations(
+                [a.observation for a in result.analyses],
+                analysis_minutes=[a.total_minutes for a in result.analyses],
+                fell_back=[a.fell_back for a in result.analyses],
+            )
         minutes = np.array([v.analysis_minutes for v in verdicts])
         observations = [a.observation for a in result.analyses]
         behavior_reports: tuple[BehaviorReport, ...] = ()

@@ -1,4 +1,23 @@
-"""Classifier interface and input validation."""
+"""Classifier interface, input validation, and batch-stable kernels.
+
+Two numerical facts shape the scoring hot path here:
+
+* BLAS matrix products (numpy's ``@``) are **not** batch-invariant:
+  the same row scored alone and inside a 1024-row block can differ in
+  the last ulp, because GEMM/GEMV summation order depends on the
+  operand shapes.
+* numpy's own reduction loops (``einsum`` without ``optimize``,
+  ``(X * w).sum(axis=1)``) reduce each output element in an order that
+  depends only on the contracted length — they *are* batch-invariant.
+
+Every ``predict_proba`` implementation therefore routes its linear
+algebra through :func:`row_stable_matvec` / :func:`row_stable_matmul`,
+which is what lets :meth:`Classifier.predict_proba_batch` promise exact
+(bitwise) equality with a per-app scoring loop at any batch size and in
+any row order.  Training keeps plain BLAS — fit determinism across
+batch shapes is not part of the contract, and the fit path is matmul
+heavy.
+"""
 
 from __future__ import annotations
 
@@ -14,14 +33,25 @@ from repro.obs import MetricsRegistry, default_registry
 _timing_guard = threading.local()
 
 
-def _timed(fn, metric: str):
+def _batch_rows(arg) -> int | None:
+    """Row count of a batch argument (FeatureBlock, matrix), else None."""
+    try:
+        return len(arg)
+    except TypeError:
+        return None
+
+
+def _timed(fn, metric: str, batch_label: bool = False):
     """Wrap a Classifier method to record wall time into a registry.
 
     The duration lands in a ``<metric>{classifier=...}`` histogram on
     the instance's bound registry (:meth:`Classifier.bind_registry`),
-    falling back to the process-wide default.  Re-entrant calls (a
-    subclass delegating to ``super()``) record only the outermost
-    frame, so ensembles are not double-counted.
+    falling back to the process-wide default.  Re-entrant calls record
+    only the outermost frame — whether a subclass delegating to
+    ``super()`` or a batch entry point falling back to the per-row
+    method — so batch scoring yields exactly one ``predict`` span
+    rather than N nested ones.  With ``batch_label`` the span carries a
+    ``batch_size`` label taken from the first argument's row count.
     """
 
     @functools.wraps(fn)
@@ -33,6 +63,11 @@ def _timed(fn, metric: str):
         if key in active:
             return fn(self, *args, **kwargs)
         active.add(key)
+        labels = {"classifier": getattr(self, "name", type(self).__name__)}
+        if batch_label and args:
+            rows = _batch_rows(args[0])
+            if rows is not None:
+                labels["batch_size"] = str(rows)
         started = time.perf_counter()
         try:
             return fn(self, *args, **kwargs)
@@ -42,13 +77,66 @@ def _timed(fn, metric: str):
             if registry is None:
                 registry = default_registry()
             registry.observe(
-                metric,
-                time.perf_counter() - started,
-                classifier=getattr(self, "name", type(self).__name__),
+                metric, time.perf_counter() - started, **labels
             )
 
     wrapper._obs_wrapped = True
     return wrapper
+
+
+def row_stable_matvec(X: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``X @ w`` with per-row summation order independent of the batch.
+
+    Each output element is reduced over the feature axis in an order
+    fixed by the feature count alone, so row ``i`` of a 1024-row block
+    is bitwise identical to scoring that row on its own — the property
+    the ``predict_proba_batch`` contract rests on.  BLAS ``@`` does not
+    guarantee this.
+    """
+    return np.einsum("nd,d->n", X, w, optimize=False)
+
+
+def row_stable_matmul(X: np.ndarray, W: np.ndarray) -> np.ndarray:
+    """``X @ W`` with per-row summation order independent of the batch.
+
+    See :func:`row_stable_matvec`; the same guarantee, for matrix
+    right-hand sides (neural-network layers, per-class score columns).
+    """
+    return np.einsum("nd,dh->nh", X, W, optimize=False)
+
+
+def block_matrix(block) -> np.ndarray:
+    """Normalize a batch argument to a 2-D feature matrix.
+
+    Accepts a :class:`~repro.core.features.FeatureBlock` (duck-typed on
+    its ``matrix`` attribute) or anything array-like.  Zero-row inputs
+    are legal here — batch entry points handle them explicitly — which
+    is why this is not :func:`check_Xy`.
+    """
+    matrix = getattr(block, "matrix", block)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"batch input must be 2-D, got shape {matrix.shape}"
+        )
+    return matrix
+
+
+def binary_block(block) -> np.ndarray:
+    """A uint8 view of a batch argument for the tree-model paths.
+
+    A uint8 ``FeatureBlock`` matrix passes through untouched (the whole
+    point of the columnar layout); anything else takes the same
+    float32 → uint8 conversion the per-row path applies, so both paths
+    see identical bits.
+    """
+    matrix = block_matrix(block)
+    if matrix.dtype == np.uint8:
+        return matrix
+    if matrix.shape[0] == 0:
+        return matrix.astype(np.uint8)
+    matrix, _ = check_Xy(matrix)
+    return matrix.astype(np.uint8)
 
 
 def check_Xy(
@@ -95,9 +183,10 @@ class Classifier(abc.ABC):
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
-        for method, metric in (
-            ("fit", "ml_fit_seconds"),
-            ("predict_proba", "ml_predict_seconds"),
+        for method, metric, batch_label in (
+            ("fit", "ml_fit_seconds", False),
+            ("predict_proba", "ml_predict_seconds", False),
+            ("predict_proba_batch", "ml_predict_seconds", True),
         ):
             fn = cls.__dict__.get(method)
             if (
@@ -106,7 +195,7 @@ class Classifier(abc.ABC):
                 and not getattr(fn, "_obs_wrapped", False)
                 and not getattr(fn, "__isabstractmethod__", False)
             ):
-                setattr(cls, method, _timed(fn, metric))
+                setattr(cls, method, _timed(fn, metric, batch_label))
 
     def bind_registry(self, registry: MetricsRegistry) -> "Classifier":
         """Direct this model's timing metrics to ``registry``."""
@@ -121,6 +210,31 @@ class Classifier(abc.ABC):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """P(malicious) per row."""
 
+    def predict_proba_batch(self, block) -> np.ndarray:
+        """P(malicious) per row of a columnar batch.
+
+        Contract (the batch-vs-single test battery pins all three):
+
+        * accepts a :class:`~repro.core.features.FeatureBlock` or a
+          2-D matrix, including the zero-row case (empty float64 out,
+          nothing raised, no model code touched);
+        * the result is **bitwise** equal to scoring each row alone
+          through :meth:`predict_proba`, at any batch size and in any
+          row order;
+        * exactly one ``ml_predict_seconds`` observation is recorded,
+          labelled with the batch size.
+
+        This base implementation is the loop-free fallback shim: it
+        hands the whole matrix to :meth:`predict_proba`, which is
+        already batch-shaped for every bundled model.  Subclasses
+        override it to skip per-call validation/conversion on the hot
+        path (uint8 tree traversal, single dtype conversion).
+        """
+        X = block_matrix(block)
+        if X.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.asarray(self.predict_proba(X), dtype=np.float64)
+
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at the given probability threshold."""
         return (self.predict_proba(X) >= threshold).astype(np.int8)
@@ -133,3 +247,10 @@ class Classifier(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
+
+
+# The fallback shim records the batch-labelled span too; the guard in
+# _timed keeps the delegated predict_proba call from double-recording.
+Classifier.predict_proba_batch = _timed(
+    Classifier.predict_proba_batch, "ml_predict_seconds", batch_label=True
+)

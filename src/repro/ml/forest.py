@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_Xy
+from repro.ml.base import Classifier, binary_block, check_Xy
 from repro.ml.tree import _TreeBuilder, predict_tree
 
 
@@ -106,14 +106,30 @@ class RandomForest(Classifier):
         )
         return self
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        self._require_fitted("_roots")
-        X, _ = check_Xy(X)
-        Xb = X.astype(np.uint8)
+    def _tree_scores(self, Xb: np.ndarray) -> np.ndarray:
+        """Mean leaf probability over the ensemble, all rows at once.
+
+        Each tree routes the whole row block node by node with boolean
+        masks (:func:`predict_tree`); the per-row accumulation order is
+        the fixed tree order, so results are batch-size invariant.
+        """
         probs = np.zeros(Xb.shape[0])
         for root in self._roots:
             probs += predict_tree(root, Xb)
         return probs / len(self._roots)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("_roots")
+        X, _ = check_Xy(X)
+        return self._tree_scores(X.astype(np.uint8))
+
+    def predict_proba_batch(self, block) -> np.ndarray:
+        """Blocked path: uint8 feature blocks skip the float32 detour."""
+        self._require_fitted("_roots")
+        Xb = binary_block(block)
+        if Xb.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self._tree_scores(Xb)
 
     def top_features(self, k: int = 20) -> np.ndarray:
         """Indices of the k most Gini-important features, descending."""

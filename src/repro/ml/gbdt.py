@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_Xy
+from repro.ml.base import Classifier, binary_block, check_Xy
 from repro.ml.tree import _TreeBuilder, predict_tree
 
 
@@ -89,14 +89,29 @@ class GradientBoostedTrees(Classifier):
         self._stages = stages
         return self
 
-    def decision_function(self, X: np.ndarray) -> np.ndarray:
-        self._require_fitted("_stages")
-        X, _ = check_Xy(X)
-        Xb = X.astype(np.uint8)
+    def _staged_raw(self, Xb: np.ndarray) -> np.ndarray:
+        """Boosted raw scores for a uint8 block, all rows per node.
+
+        Stage order fixes the per-row accumulation order, keeping the
+        result batch-size invariant.
+        """
         raw = np.full(Xb.shape[0], self._base_score)
         for root in self._stages:
             raw += self.learning_rate * predict_tree(root, Xb)
         return raw
 
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("_stages")
+        X, _ = check_Xy(X)
+        return self._staged_raw(X.astype(np.uint8))
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return _sigmoid(self.decision_function(X))
+
+    def predict_proba_batch(self, block) -> np.ndarray:
+        """Blocked path: uint8 feature blocks skip the float32 detour."""
+        self._require_fitted("_stages")
+        Xb = binary_block(block)
+        if Xb.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return _sigmoid(self._staged_raw(Xb))

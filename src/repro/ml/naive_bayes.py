@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_Xy
+from repro.ml.base import (
+    Classifier,
+    block_matrix,
+    check_Xy,
+    row_stable_matvec,
+)
 
 
 class BernoulliNaiveBayes(Classifier):
@@ -45,19 +50,45 @@ class BernoulliNaiveBayes(Classifier):
         self._log_q = np.log1p(-p)
         return self
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        self._require_fitted("_log_p")
-        X, _ = check_Xy(X)
-        if X.shape[1] != self._log_p.shape[1]:
-            raise ValueError(
-                f"expected {self._log_p.shape[1]} features, got {X.shape[1]}"
+    def _posterior(self, Xf: np.ndarray) -> np.ndarray:
+        """P(malware | x) per row via row-stable log-joint scores.
+
+        ``x·log p + (1-x)·log q`` is folded into one matvec per class,
+        ``x·(log p - log q) + sum(log q)``, so the per-row reduction is
+        a single row-stable kernel call and results are batch-size
+        invariant.
+        """
+        joint = np.empty((Xf.shape[0], 2), dtype=np.float64)
+        for c in (0, 1):
+            joint[:, c] = (
+                row_stable_matvec(Xf, self._log_p[c] - self._log_q[c])
+                + self._log_q[c].sum()
+                + self._log_prior[c]
             )
-        # log P(class | x) up to normalization, for both classes at once.
-        joint = (
-            X @ self._log_p.T + (1.0 - X) @ self._log_q.T + self._log_prior
-        )
         # Normalize in log space for numerical stability.
         m = joint.max(axis=1, keepdims=True)
         probs = np.exp(joint - m)
         probs /= probs.sum(axis=1, keepdims=True)
         return probs[:, 1]
+
+    def _check_features(self, X: np.ndarray) -> None:
+        if X.shape[1] != self._log_p.shape[1]:
+            raise ValueError(
+                f"expected {self._log_p.shape[1]} features, got {X.shape[1]}"
+            )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("_log_p")
+        X, _ = check_Xy(X)
+        self._check_features(X)
+        return self._posterior(X)
+
+    def predict_proba_batch(self, block) -> np.ndarray:
+        """Blocked path: one dtype conversion for the whole block."""
+        self._require_fitted("_log_p")
+        X = block_matrix(block)
+        if X.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        X, _ = check_Xy(X)
+        self._check_features(X)
+        return self._posterior(X)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_Xy
+from repro.ml.base import Classifier, binary_block, check_Xy
 
 _MAX_DEPTH_CAP = 64
 
@@ -223,3 +223,11 @@ class CartTree(Classifier):
         self._require_fitted("_root")
         X, _ = check_Xy(X)
         return predict_tree(self._root, X.astype(np.uint8))
+
+    def predict_proba_batch(self, block) -> np.ndarray:
+        """Blocked path: route the whole uint8 block down the tree."""
+        self._require_fitted("_root")
+        Xb = binary_block(block)
+        if Xb.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return predict_tree(self._root, Xb)

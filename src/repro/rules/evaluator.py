@@ -126,7 +126,11 @@ class RuleEvaluator:
                 BehaviorReport(obs.apk_md5, hits=(), n_rules=0)
                 for obs in observations
             ]
-        # Membership matrices over the union axes.
+        # Membership matrices over the union axes, built columnar: flat
+        # indices are gathered per observation and written with one
+        # scatter per axis (same construction as
+        # ``FeatureBlock.from_observations``) instead of per-cell
+        # assignments.
         A = np.zeros((n_apps, len(rs.api_union)), dtype=bool)
         P = np.zeros((n_apps, len(rs.perm_union)), dtype=bool)
         T = np.zeros((n_apps, len(rs.intent_union)), dtype=bool)
@@ -134,21 +138,30 @@ class RuleEvaluator:
         perm_index = rs._perm_index
         intent_index = rs._intent_index
         api_sets: list[set[int]] = []
+        flat_a: list[int] = []
+        flat_p: list[int] = []
+        flat_t: list[int] = []
         for row, obs in enumerate(observations):
             invoked = {int(i) for i in obs.invoked_api_ids}
             api_sets.append(invoked)
+            base_a = row * A.shape[1]
             for api_id in invoked:
                 col = api_index.get(api_id)
                 if col is not None:
-                    A[row, col] = True
+                    flat_a.append(base_a + col)
+            base_p = row * P.shape[1]
             for perm in obs.permissions:
                 col = perm_index.get(perm)
                 if col is not None:
-                    P[row, col] = True
+                    flat_p.append(base_p + col)
+            base_t = row * T.shape[1]
             for intent in obs.intents:
                 col = intent_index.get(intent)
                 if col is not None:
-                    T[row, col] = True
+                    flat_t.append(base_t + col)
+        for matrix, flat in ((A, flat_a), (P, flat_p), (T, flat_t)):
+            if flat and matrix.size:
+                matrix.ravel()[np.asarray(flat, dtype=np.intp)] = True
         # (n_apps, n_rules) matched counts, then the confidence ladder.
         api_matched = A.astype(np.int32) @ rs.R_api.T.astype(np.int32)
         perm_matched = P.astype(np.int32) @ rs.R_perm.T.astype(np.int32)

@@ -271,6 +271,8 @@ class OnlineVettingService:
 
     def _process_batch(self, batch: list[SubmissionRecord]) -> None:
         """Analyze and score one micro-batch under one model lease."""
+        if not batch:
+            return
         self.metrics.inc("serve_batches_total")
         with self.models.lease() as (version, checker, shadow):
             pipeline = VettingPipeline(
@@ -282,7 +284,27 @@ class OnlineVettingService:
                 sink=self.sink,
             )
             result = pipeline.run([entry.apk for entry in batch])
+            # One blocked scoring call for the whole micro-batch (and
+            # one more for the shadow model), all under this lease.
+            analyzed = [
+                analysis
+                for analysis in result.analyses
+                if analysis is not None
+            ]
+            verdicts = checker.verdicts_from_observations(
+                [a.observation for a in analyzed],
+                analysis_minutes=[a.total_minutes for a in analyzed],
+                fell_back=[a.fell_back for a in analyzed],
+            )
+            shadow_version = None
+            shadow_verdicts = None
+            if shadow is not None:
+                shadow_version, shadow_checker = shadow
+                shadow_verdicts = shadow_checker.verdicts_from_observations(
+                    [a.observation for a in analyzed]
+                )
             outcomes: list[tuple[SubmissionRecord, dict, bool | None]] = []
+            scored = 0
             for entry, analysis in zip(batch, result.analyses):
                 if analysis is None:
                     failure = next(
@@ -307,19 +329,13 @@ class OnlineVettingService:
                         )
                     )
                     continue
-                verdict = checker.verdict_from_observation(
-                    analysis.observation,
-                    analysis_minutes=analysis.total_minutes,
-                    fell_back=analysis.fell_back,
-                )
+                verdict = verdicts[scored]
                 agreed: bool | None = None
-                shadow_version = None
-                if shadow is not None:
-                    shadow_version, shadow_checker = shadow
-                    shadow_verdict = shadow_checker.verdict_from_observation(
-                        analysis.observation
+                if shadow_verdicts is not None:
+                    agreed = (
+                        shadow_verdicts[scored].malicious == verdict.malicious
                     )
-                    agreed = shadow_verdict.malicious == verdict.malicious
+                scored += 1
                 explanation = None
                 if self.rules_enabled and verdict.malicious:
                     report = self._evaluator_for(

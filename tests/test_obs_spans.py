@@ -123,6 +123,58 @@ def test_sink_read_rejects_malformed_lines(tmp_path):
         SpanSink.read(path)
 
 
+def test_batch_scoring_records_one_labelled_predict_span():
+    """One outermost ml_predict_seconds record per batch call, with a
+    batch_size label — not one per row and not nested double-counts."""
+    import numpy as np
+
+    from repro.ml.logistic import LogisticRegression
+
+    reg = MetricsRegistry()
+    rng = np.random.default_rng(11)
+    X = (rng.random((40, 12)) < 0.3).astype(np.uint8)
+    y = (rng.random(40) < 0.5).astype(np.int8)
+    y[:2] = (0, 1)
+    clf = LogisticRegression(epochs=5).bind_registry(reg)
+    clf.fit(X, y)
+    assert reg.histogram_count("ml_predict_seconds") == 0
+    clf.predict_proba_batch(X[:17])
+    assert reg.histogram_count("ml_predict_seconds") == 1
+    snap = reg.histogram(
+        "ml_predict_seconds", classifier="lr", batch_size="17"
+    )
+    assert snap is not None and snap.count == 1
+    # The per-row path keeps its unlabelled series.
+    clf.predict_proba(X[:1])
+    assert reg.histogram("ml_predict_seconds", classifier="lr").count == 1
+
+
+def test_fallback_batch_shim_does_not_double_record():
+    """The base-class shim delegates to predict_proba; the re-entrancy
+    guard must keep that inner call from recording a second span."""
+    import numpy as np
+
+    from repro.ml.base import Classifier
+
+    class MeanScore(Classifier):
+        name = "mean"
+
+        def fit(self, X, y):
+            return self
+
+        def predict_proba(self, X):
+            return np.asarray(X, dtype=np.float64).mean(axis=1)
+
+    reg = MetricsRegistry()
+    clf = MeanScore().bind_registry(reg)
+    clf.predict_proba_batch(np.zeros((9, 4), dtype=np.uint8))
+    assert reg.histogram_count("ml_predict_seconds") == 1
+    snap = reg.histogram(
+        "ml_predict_seconds", classifier="mean", batch_size="9"
+    )
+    assert snap is not None and snap.count == 1
+
+
 def test_sink_buffer_is_bounded_but_counts_all():
     sink = SpanSink(capacity=4)
     for i in range(10):

@@ -5,7 +5,9 @@ Invariants checked (over hypothesis-generated workloads):
 * simulated and executed schedules never overlap two tasks on a slot;
 * ``makespan == max(end_minute)`` and busy time is conserved;
 * every submitted app appears exactly once in the pipeline's report;
-* observation-cache hits never change verdicts.
+* observation-cache hits never change verdicts;
+* ``FeatureBlock.from_observations`` round-trips ``FeatureSpace.encode``
+  row for row, for every feature mode and encoding.
 """
 
 import numpy as np
@@ -14,6 +16,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import DynamicAnalysisEngine
+from repro.core.features import (
+    AppObservation,
+    FeatureBlock,
+    FeatureMode,
+    FeatureSpace,
+)
 from repro.core.pipeline import ObservationCache, VettingPipeline
 from repro.emulator.cluster import (
     AnalysisServer,
@@ -150,6 +158,55 @@ def test_cache_persistence_roundtrip(sdk, catalog, tmp_path):
     assert [a.observation for a in second.analyses] == [
         a.observation for a in first.analyses
     ]
+
+
+# -- FeatureBlock round-trips the encoder ---------------------------------
+
+
+def _observations(sdk):
+    """Arbitrary observations: known and unknown APIs/permissions/intents."""
+    api_ids = st.integers(0, len(sdk) - 1)
+    perm_names = list(sdk.permissions.names) + ["com.fake.UNKNOWN_PERM"]
+    intent_names = list(sdk.intents.names) + ["android.intent.action.FAKE"]
+    return st.builds(
+        AppObservation,
+        apk_md5=st.text("0123456789abcdef", min_size=8, max_size=32),
+        invoked_api_ids=st.lists(api_ids, max_size=25).map(tuple),
+        permissions=st.lists(
+            st.sampled_from(perm_names), max_size=8
+        ).map(tuple),
+        intents=st.lists(
+            st.sampled_from(intent_names), max_size=8
+        ).map(tuple),
+        invoked_api_counts=st.lists(
+            st.tuples(api_ids, st.integers(0, 500_000)), max_size=10
+        ).map(tuple),
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_feature_block_roundtrips_encode(sdk, data):
+    """block[i] must equal encode(obs_i) bit for bit, any mode/encoding."""
+    mode = data.draw(st.sampled_from(list(FeatureMode)))
+    encoding = data.draw(st.sampled_from(["binary", "histogram"]))
+    tracked = data.draw(
+        st.lists(
+            st.integers(0, len(sdk) - 1),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    space = FeatureSpace(sdk, tracked, mode, encoding=encoding)
+    observations = data.draw(st.lists(_observations(sdk), max_size=6))
+    block = FeatureBlock.from_observations(space, observations)
+    assert block.n_apps == len(observations)
+    assert block.n_features == space.n_features
+    assert block.matrix.dtype == np.uint8
+    for i, obs in enumerate(observations):
+        assert np.array_equal(block[i], space.encode(obs))
+        assert block.md5s[i] == obs.apk_md5
 
 
 def test_duplicate_md5s_in_one_batch_emulate_once(sdk, catalog):

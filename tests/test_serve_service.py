@@ -84,8 +84,13 @@ def test_priority_lane_is_dispatched_first(models, generator):
             time.sleep(0.01)
         outcome = service.results[apps[5].md5]
         assert outcome["lane"] == "escalated"
-        # Only the first batch (size 2) may have completed before it.
-        assert len(service.results) <= 1 + service.batch_size
+        # The escalated submission must land in the first dispatched
+        # batch; results preserve completion order, so it appears among
+        # the first batch_size outcomes.  (Counting completed batches
+        # instead would race the dispatcher: batched scoring can finish
+        # several micro-batches within one 10 ms poll.)
+        first_batch = list(service.results)[: service.batch_size]
+        assert apps[5].md5 in first_batch
     finally:
         service.close()
 
