@@ -1,19 +1,26 @@
-"""Online-service throughput — closed-loop load against the in-process API.
+"""Online-service throughput — closed-loop and open-loop sharded load.
 
-A pool of closed-loop clients drives :class:`OnlineVettingService`
-directly (submit, then poll ``result`` until terminal, then submit the
-next app — the classic closed-loop load model, so offered load tracks
-service capacity instead of overrunning it).  Measured at 1 and 4
-pipeline workers:
+Two load models against the serving tier:
 
-* sustained throughput (terminal outcomes per second of wall time);
-* p50/p95 end-to-end latency (accept -> terminal result, per client).
+* **Closed loop, single process** — a pool of clients drives
+  :class:`OnlineVettingService` directly (submit, poll ``result`` to
+  terminal, submit the next), so offered load tracks service capacity.
+  Measured at 1 and 4 pipeline workers.
+* **Open loop, sharded** — a bursty generator fires submissions at the
+  :class:`~repro.serve.shard.ShardRouter` on a fixed schedule,
+  independent of completions (the market's submission stream does not
+  wait for verdicts).  Measured at 1 vs N worker processes with
+  slot-occupancy pacing (`pace_seconds_per_minute`) making each
+  submission emulation-bound, the regime where sharding pays; the run
+  gates on the subs/sec scaling factor (≥1.6x at 4 shards under the
+  smoke profile, ≥3x at 8 under bench).
 
-The numbers land in a JSON result file (default
-``benchmarks/results/serve_throughput.json``, override with
-``REPRO_SERVE_BENCH_OUT``) so CI and regression diffs can consume them.
-The run also asserts the conservation law every serving configuration
-must obey: accepted == completed == scored, queue drained.
+Both report sustained throughput (terminal outcomes per second) and
+p50/p95 end-to-end latency, land their rows in a JSON result file
+(default ``benchmarks/results/serve_throughput.json``, override with
+``REPRO_SERVE_BENCH_OUT``), and assert the conservation law every
+serving configuration must obey: accepted == completed == scored,
+queue drained — summed across shard labels for the sharded runs.
 """
 
 from __future__ import annotations
@@ -27,9 +34,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import MetricsRegistry
-from repro.serve.queue import SubmissionQueue
+from repro.serve.queue import SubmissionQueue, shard_of
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import OnlineVettingService
+from repro.serve.shard import ShardRouter
 
 #: Submissions per worker configuration (disjoint app slices, so the
 #: observation cache can never serve one configuration from another).
@@ -39,6 +47,21 @@ N_SUBMISSIONS = 96
 N_CLIENTS = 8
 
 WORKER_SWEEP = (1, 4)
+
+#: Open-loop burst shape: bursts of this many submissions...
+BURST_SIZE = 16
+
+#: ...every this many seconds, regardless of completions.  The offered
+#: rate (BURST_SIZE / interval ≈ 107 subs/s) deliberately exceeds what
+#: the largest sharded configuration can absorb, so every run measures
+#: drain capacity — never the generator's own schedule.
+BURST_INTERVAL_SECONDS = 0.15
+
+#: Wall seconds slept per simulated emulation minute in the sharded
+#: runs.  This makes each submission emulation-bound (sleep ≫ the few
+#: ms of CPU), which is the regime the real system lives in — and the
+#: one where adding shard processes buys throughput on any machine.
+SHARD_PACE_SECONDS_PER_MINUTE = 0.1
 
 
 def _default_out() -> Path:
@@ -157,4 +180,162 @@ def test_serve_throughput(tmp_path, world, fitted_checker_factory, once):
         ),
         encoding="utf-8",
     )
+    print(f"  wrote {out}")
+
+
+# ----------------------------------------------------------------------
+# Open-loop bursty load against the sharded tier
+# ----------------------------------------------------------------------
+
+
+def _shard_sweep(profile):
+    """(shard counts, required subs/sec scaling at the top count)."""
+    if profile.name == "smoke":
+        return (1, 4), 1.6, 64
+    return (1, 8), 3.0, 128
+
+
+def _drive_open_loop(router, apps):
+    """Bursty open-loop load: fixed submission schedule, poll to drain.
+
+    Returns (per-app end-to-end latencies, sustained subs/sec).  The
+    generator never waits for a completion — bursts land every
+    ``BURST_INTERVAL_SECONDS`` whether or not the tier has kept up, so
+    a slow configuration shows up as queueing delay in p95, not as a
+    politely reduced offered rate.
+    """
+    submitted_at: dict[str, float] = {}
+    completed_at: dict[str, float] = {}
+
+    def generator():
+        for start in range(0, len(apps), BURST_SIZE):
+            burst_deadline = time.perf_counter() + BURST_INTERVAL_SECONDS
+            for apk in apps[start:start + BURST_SIZE]:
+                submitted_at[apk.md5] = time.perf_counter()
+                router.submit(apk)
+            remaining = burst_deadline - time.perf_counter()
+            if remaining > 0 and start + BURST_SIZE < len(apps):
+                time.sleep(remaining)
+
+    t0 = time.perf_counter()
+    feeder = threading.Thread(target=generator)
+    feeder.start()
+    outstanding = {apk.md5 for apk in apps}
+    failures: list[str] = []
+    while outstanding or feeder.is_alive():
+        for md5 in list(outstanding):
+            if md5 not in submitted_at:
+                continue
+            state = router.result(md5).get("status")
+            if state in ("done", "failed"):
+                completed_at[md5] = time.perf_counter()
+                outstanding.discard(md5)
+                if state == "failed":
+                    failures.append(md5)
+        time.sleep(0.02)
+    feeder.join()
+    wall = max(completed_at.values()) - t0
+    assert not failures, f"{len(failures)} submissions failed"
+    latencies = np.array(
+        [completed_at[m] - submitted_at[m] for m in submitted_at]
+    )
+    return latencies, len(apps) / wall
+
+
+def test_shard_scaling_open_loop(
+    tmp_path, world, profile, fitted_checker_factory, once
+):
+    """Near-linear subs/sec scaling 1 -> N shards under bursty load."""
+    checker = fitted_checker_factory()
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(checker, metadata={"source": "bench"}, activate=True)
+
+    sweep, required_scaling, n_submissions = _shard_sweep(profile)
+    apps = list(world.test)
+    assert len(apps) >= n_submissions * len(sweep), (
+        "bench world too small for disjoint per-configuration slices"
+    )
+
+    def run():
+        rows = {}
+        for i, n_shards in enumerate(sweep):
+            piece = apps[i * n_submissions:(i + 1) * n_submissions]
+            router = ShardRouter(
+                tmp_path / "models",
+                tmp_path / f"spool-{n_shards}",
+                n_shards=n_shards,
+                workers=1,
+                batch_size=4,
+                cache=False,
+                pace_seconds_per_minute=SHARD_PACE_SECONDS_PER_MINUTE,
+            )
+            with router:
+                latencies, throughput = _drive_open_loop(router, piece)
+                aggregate = router.metrics_registry()
+            # The md5 hash does not split a finite slice evenly; the
+            # busiest shard bounds the achievable speedup.
+            per_shard = [
+                sum(1 for a in piece if shard_of(a.md5, n_shards) == k)
+                for k in range(n_shards)
+            ]
+            rows[n_shards] = {
+                "shards": n_shards,
+                "submissions": len(piece),
+                "burst_size": BURST_SIZE,
+                "burst_interval_seconds": BURST_INTERVAL_SECONDS,
+                "pace_seconds_per_minute": SHARD_PACE_SECONDS_PER_MINUTE,
+                "max_shard_load": max(per_shard),
+                "throughput_per_sec": throughput,
+                "latency_p50_seconds": float(np.percentile(latencies, 50)),
+                "latency_p95_seconds": float(np.percentile(latencies, 95)),
+                "accepted": aggregate.total("serve_submissions_total"),
+                "completed": aggregate.total("serve_completed_total"),
+                "scored": aggregate.total("serve_scored_total"),
+            }
+        return rows
+
+    rows = once(run)
+
+    base = rows[sweep[0]]
+    top = rows[sweep[-1]]
+    scaling = top["throughput_per_sec"] / base["throughput_per_sec"]
+    print(f"\nOpen-loop bursty shard scaling "
+          f"({n_submissions} submissions/run, bursts of {BURST_SIZE} "
+          f"every {BURST_INTERVAL_SECONDS}s):")
+    for n_shards, row in sorted(rows.items()):
+        print(f"  {n_shards} shard(s): "
+              f"{row['throughput_per_sec']:7.1f} subs/s  "
+              f"p50 {row['latency_p50_seconds']:6.2f} s  "
+              f"p95 {row['latency_p95_seconds']:6.2f} s  "
+              f"(busiest shard {row['max_shard_load']} subs)")
+    print(f"  scaling {sweep[0]} -> {sweep[-1]} shards: {scaling:.2f}x "
+          f"(gate: >= {required_scaling}x)")
+
+    for row in rows.values():
+        # Conservation survives sharding: summed across shard labels,
+        # every accepted submission was scored exactly once.
+        assert row["accepted"] == row["submissions"]
+        assert row["completed"] == row["submissions"]
+        assert row["scored"] == row["submissions"]
+        assert row["latency_p50_seconds"] <= row["latency_p95_seconds"]
+    assert scaling >= required_scaling, (
+        f"sharding bought only {scaling:.2f}x "
+        f"(need >= {required_scaling}x at {sweep[-1]} shards)"
+    )
+    # Sharding must also cut tail latency, not just drain rate.
+    assert top["latency_p95_seconds"] < base["latency_p95_seconds"]
+
+    out = _default_out()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    merged = {}
+    if out.exists():
+        merged = json.loads(out.read_text(encoding="utf-8"))
+    merged.setdefault("bench", "serve_throughput")
+    merged["shard_scaling"] = {
+        "profile": profile.name,
+        "required_scaling": required_scaling,
+        "measured_scaling": scaling,
+        "rows": list(rows.values()),
+    }
+    out.write_text(json.dumps(merged, indent=2), encoding="utf-8")
     print(f"  wrote {out}")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Serve smoke: boot the online vetting service and exercise the API.
+"""Serve smoke: boot the vetting tier and exercise the /v1 API.
 
 The CI serve-smoke job runs this end to end:
 
@@ -7,8 +7,13 @@ The CI serve-smoke job runs this end to end:
 2. start the durable online service + HTTP API on an ephemeral port,
 3. submit a batch over real HTTP (mixed lanes), poll every result to a
    terminal outcome,
-4. scrape ``/metrics`` and assert the conservation counters: accepted ==
-   completed == scored, queue drained, admission rejects surfaced.
+4. scrape ``/v1/metrics`` and assert the conservation counters:
+   accepted == completed == scored, queue drained,
+5. boot a 2-shard router over the same model registry, submit through
+   the ``/v1`` front door, SIGKILL one shard, assert the 503
+   ``shard_unavailable`` envelope and degraded healthz, restart the
+   shard over its WAL segment, and re-check conservation across the
+   shard-labelled aggregated scrape.
 
 Exit code 0 means the serving path works; any assertion or timeout is a
 build failure.
@@ -33,11 +38,15 @@ from repro import (
     ModelRegistry,
     OnlineVettingService,
     SdkSpec,
+    ShardRouter,
+    make_router_server,
     make_server,
+    shard_of,
 )
 from repro.serve.codec import apk_to_dict
 
 N_SUBMISSIONS = 16
+N_SHARD_SUBMISSIONS = 12
 POLL_TIMEOUT = 120.0
 
 
@@ -66,8 +75,28 @@ def _metric(text: str, name: str) -> float:
             if head == name or head.startswith(name + "{"):
                 total += float(line.rsplit(" ", 1)[1])
                 seen = True
-    assert seen, f"metric {name} missing from /metrics"
+    assert seen, f"metric {name} missing from /v1/metrics"
     return total
+
+
+def _poll_all(base: str, md5s, deadline_s: float = POLL_TIMEOUT):
+    deadline = time.monotonic() + deadline_s
+    outcomes: dict[str, dict] = {}
+    while len(outcomes) < len(md5s):
+        assert time.monotonic() < deadline, "timed out waiting for results"
+        for md5 in md5s:
+            if md5 in outcomes:
+                continue
+            try:
+                status, body = _get(f"{base}/v1/result/{md5}")
+            except urllib.error.HTTPError as err:  # 404 must not happen
+                raise AssertionError(
+                    f"result/{md5} -> HTTP {err.code}"
+                ) from err
+            if status == 200:
+                outcomes[md5] = json.loads(body)
+        time.sleep(0.05)
+    return outcomes
 
 
 def main() -> int:
@@ -89,7 +118,7 @@ def main() -> int:
     ).start()
     server = make_server(service).start_background()
     base = f"http://127.0.0.1:{server.port}"
-    status, body = _get(f"{base}/healthz")
+    status, body = _get(f"{base}/v1/healthz")
     assert status == 200, f"healthz returned {status}"
     print(f"serving on {base}: {json.loads(body)}")
 
@@ -99,33 +128,18 @@ def main() -> int:
     for i in range(N_SUBMISSIONS):
         apk = generator.sample_app(malicious=(i % 5 == 0))
         status, ticket = _post_json(
-            f"{base}/submit",
+            f"{base}/v1/submit",
             {"apk": apk_to_dict(apk), "lane": lanes[i % len(lanes)]},
         )
         assert status == 202, f"submit returned {status}"
         submitted.append(ticket["md5"])
-    deadline = time.monotonic() + POLL_TIMEOUT
-    outcomes = {}
-    while len(outcomes) < len(submitted):
-        assert time.monotonic() < deadline, "timed out waiting for results"
-        for md5 in submitted:
-            if md5 in outcomes:
-                continue
-            try:
-                status, body = _get(f"{base}/result/{md5}")
-            except urllib.error.HTTPError as err:  # 404 must not happen
-                raise AssertionError(
-                    f"result/{md5} -> HTTP {err.code}"
-                ) from err
-            if status == 200:
-                outcomes[md5] = json.loads(body)
-        time.sleep(0.05)
+    outcomes = _poll_all(base, submitted)
     flagged = sum(bool(o.get("malicious")) for o in outcomes.values())
     assert all(o["status"] == "done" for o in outcomes.values())
     print(f"all {len(outcomes)} terminal ({flagged} flagged)")
 
-    print("\n== 4. Scrape /metrics and check conservation ==")
-    status, body = _get(f"{base}/metrics")
+    print("\n== 4. Scrape /v1/metrics and check conservation ==")
+    status, body = _get(f"{base}/v1/metrics")
     assert status == 200
     text = body.decode("utf-8")
     accepted = _metric(text, "serve_submissions_total")
@@ -139,6 +153,10 @@ def main() -> int:
     assert scored == unique, f"scored {scored} != {unique}"
     assert depth == 0, f"queue not drained: depth {depth}"
     assert active == version
+
+    # Legacy unprefixed paths still answer, via the deprecation 301.
+    status, body = _get(f"{base}/healthz")  # urllib follows the 301
+    assert status == 200 and json.loads(body)["status"] == "ok"
     print(
         f"accepted={accepted:.0f} completed={completed:.0f} "
         f"scored={scored:.0f} depth={depth:.0f} "
@@ -147,6 +165,90 @@ def main() -> int:
 
     server.stop()
     service.close()
+
+    print("\n== 5. Sharded tier: 2 shards, kill one, replay its WAL ==")
+    router = ShardRouter(
+        workdir / "models",
+        workdir / "shard-spool",
+        n_shards=2,
+        workers=1,
+        batch_size=4,
+    ).start()
+    front = make_router_server(router).start_background()
+    rbase = f"http://127.0.0.1:{front.port}"
+    status, body = _get(f"{rbase}/v1/healthz")
+    health = json.loads(body)
+    assert status == 200 and health["status"] == "ok"
+    assert len(health["shards"]) == 2
+    print(f"routing on {rbase} -> ports "
+          f"{[s['port'] for s in health['shards']]}")
+
+    shard_md5s = []
+    for i in range(N_SHARD_SUBMISSIONS):
+        apk = generator.sample_app(malicious=(i % 5 == 0))
+        status, ticket = _post_json(
+            f"{rbase}/v1/submit", {"apk": apk_to_dict(apk)}
+        )
+        assert status == 202, f"router submit returned {status}"
+        shard_md5s.append(ticket["md5"])
+    outcomes = _poll_all(rbase, shard_md5s)
+    assert all(o["status"] == "done" for o in outcomes.values())
+    print(f"all {len(outcomes)} terminal through the front door")
+
+    # Conservation across the aggregated, shard-labelled scrape (while
+    # both original worker processes are still alive).
+    status, body = _get(f"{rbase}/v1/metrics")
+    assert status == 200
+    text = body.decode("utf-8")
+    assert 'shard="0"' in text and 'shard="1"' in text
+    accepted = _metric(text, "serve_submissions_total")
+    scored = _metric(text, "serve_scored_total")
+    unique = len(set(shard_md5s))
+    assert accepted == unique, f"shard accepted {accepted} != {unique}"
+    assert scored == unique, f"shard scored {scored} != {unique}"
+    print(f"aggregated scrape: accepted={accepted:.0f} "
+          f"scored={scored:.0f} (counters shard-labelled)")
+
+    victim = shard_of(shard_md5s[0], 2)
+    router.kill_shard(victim)
+    try:
+        _get(f"{rbase}/v1/result/{shard_md5s[0]}")
+        raise AssertionError("dead shard did not 503")
+    except urllib.error.HTTPError as err:
+        assert err.code == 503, f"expected 503, got {err.code}"
+        envelope = json.load(err)["error"]
+        assert envelope["code"] == "shard_unavailable", envelope
+    try:
+        _get(f"{rbase}/v1/healthz")
+        raise AssertionError("healthz did not degrade")
+    except urllib.error.HTTPError as err:
+        assert err.code == 503
+        assert json.load(err)["status"] == "degraded"
+    print(f"killed shard {victim}: 503 envelope + degraded healthz")
+
+    replayed = router.restart_shard(victim)
+    status, body = _get(f"{rbase}/v1/result/{shard_md5s[0]}")
+    assert status == 200 and json.loads(body)["status"] == "done"
+    print(f"restarted shard {victim} over its WAL "
+          f"(replayed {replayed} uncompleted)")
+
+    # Every outcome is still served, and nothing was re-scored: the
+    # restarted worker's counters reset with its process, so its scored
+    # total only counts post-restart work — any duplicate scoring of
+    # the recovered outcomes would push the cross-shard sum past the
+    # accepted total.
+    outcomes = _poll_all(rbase, shard_md5s)
+    assert all(o["status"] == "done" for o in outcomes.values())
+    status, body = _get(f"{rbase}/v1/metrics")
+    text = body.decode("utf-8")
+    scored = _metric(text, "serve_scored_total")
+    assert scored <= unique, f"duplicate scoring: {scored} > {unique}"
+    print(f"post-restart scrape: scored={scored:.0f} <= {unique} "
+          "(no duplicate terminal outcomes)")
+
+    front.stop()
+    abandoned = router.stop()
+    assert all(not md5s for md5s in abandoned.values()), abandoned
     print("\nserve smoke OK")
     return 0
 

@@ -49,15 +49,21 @@ from repro.rules import (
     load_ruleset,
 )
 from repro.serve import (
+    ERROR_CODES,
     ModelRegistry,
     OnlineVettingService,
     QueueFullError,
     ShadowPromotionGate,
+    ShardRouter,
+    ShardUnavailableError,
     SubmissionQueue,
+    WrongShardError,
+    make_router_server,
     make_server,
+    shard_of,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AndroidSdk",
@@ -69,6 +75,7 @@ __all__ = [
     "BehaviorReport",
     "CorpusGenerator",
     "DynamicAnalysisEngine",
+    "ERROR_CODES",
     "EngineStats",
     "EvolutionLoop",
     "FeatureMode",
@@ -87,6 +94,8 @@ __all__ = [
     "RuleSpec",
     "SdkSpec",
     "ShadowPromotionGate",
+    "ShardRouter",
+    "ShardUnavailableError",
     "SpanSink",
     "SubmissionQueue",
     "TMarket",
@@ -94,11 +103,14 @@ __all__ = [
     "VetVerdict",
     "VettingPipeline",
     "VettingService",
+    "WrongShardError",
     "builtin_ruleset",
     "default_registry",
     "lint_ruleset",
     "load_ruleset",
+    "make_router_server",
     "make_server",
     "select_key_apis",
+    "shard_of",
     "span",
 ]

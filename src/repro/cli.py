@@ -13,9 +13,11 @@ Commands:
   demo run) as JSON or Prometheus text exposition.
 * ``serve`` — run the online vetting service: durable submission
   queue (WAL in ``--spool``), versioned model registry with hot swap
-  (``--model-dir``), and the HTTP JSON API (``/submit``,
-  ``/result/<md5>``, ``/explain/<md5>``, ``/healthz``, ``/metrics``).
-  See ``docs/serving.md``.
+  (``--model-dir``), and the versioned HTTP JSON API (``/v1/submit``,
+  ``/v1/result/<md5>``, ``/v1/explain/<md5>``, ``/v1/healthz``,
+  ``/v1/metrics``).  ``--shards N`` runs the sharded tier instead:
+  N worker processes with per-shard WAL segments behind an md5-routing
+  scatter/gather front door.  See ``docs/serving.md``.
 * ``explain`` — train, vet a fresh day with behavior rules enabled,
   and print each flagged app's rule-evidence summary.  See
   ``docs/rules.md``.
@@ -117,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache", default=None,
                        help="persistent observation-cache file "
                             "(default: in-memory)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="worker processes; >1 runs the sharded tier "
+                            "(md5-routed, per-shard WAL segments) behind "
+                            "a scatter/gather front door (default 1)")
+    serve.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                       help="slot-occupancy pacing: wall seconds slept "
+                            "per simulated emulation minute (default 0)")
     # Bootstrap training should be light: the service exists to serve,
     # not to reproduce the full study.
     serve.set_defaults(apis=1000, train=300)
@@ -303,6 +312,8 @@ def cmd_serve(args) -> int:
             activate=True,
         ).version
         print(f"published and activated model v{version}")
+    if args.shards > 1:
+        return _serve_sharded(args, metrics)
     service = OnlineVettingService(
         models,
         spool_dir=args.spool,
@@ -311,6 +322,7 @@ def cmd_serve(args) -> int:
         max_depth=args.max_depth,
         cache=args.cache if args.cache else True,
         metrics=metrics,
+        pace_seconds_per_minute=args.pace,
     )
     service.start()
     server = make_server(service, args.host, args.port)
@@ -329,7 +341,63 @@ def cmd_serve(args) -> int:
         print("\nshutting down...")
     finally:
         server.stop()
-        service.close()
+        abandoned = service.close()
+        if abandoned:
+            print(
+                f"abandoned {len(abandoned)} pending submission(s); "
+                "they replay from the WAL on restart"
+            )
+    return 0
+
+
+def _serve_sharded(args, metrics) -> int:
+    """``repro serve --shards N``: the multi-process sharded tier."""
+    import threading
+
+    from repro.serve import ShardRouter, make_router_server
+
+    router = ShardRouter(
+        args.model_dir,
+        args.spool,
+        n_shards=args.shards,
+        host=args.host,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_depth=args.max_depth,
+        cache=args.cache if args.cache else True,
+        pace_seconds_per_minute=args.pace,
+        metrics=metrics,
+    )
+    router.start()
+    server = make_router_server(router, args.host, args.port)
+    server.start_background()
+    replayed = sum(h.replayed for h in router.shards.values())
+    if replayed:
+        print(
+            f"replayed {replayed} uncompleted submissions "
+            "from per-shard WALs"
+        )
+    ports = ", ".join(
+        str(router.shards[k].port) for k in sorted(router.shards)
+    )
+    print(
+        f"routing on http://{args.host}:{server.port} -> "
+        f"{args.shards} shard(s) on ports [{ports}] "
+        f"(spool {args.spool}, {args.workers} workers/shard)"
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.stop()
+        abandoned = router.stop()
+        total = sum(len(v) for v in abandoned.values())
+        if total:
+            print(
+                f"abandoned {total} pending submission(s) across shards; "
+                "they replay from the per-shard WALs on restart"
+            )
     return 0
 
 

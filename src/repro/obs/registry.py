@@ -329,6 +329,48 @@ class MetricsRegistry:
     def from_json(cls, text: str) -> "MetricsRegistry":
         return cls.from_dict(json.loads(text))
 
+    def absorb(self, snapshot: dict, **extra_labels: str) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        Every absorbed series gains ``extra_labels`` on top of its own
+        (the shard router absorbs each worker's snapshot with
+        ``shard="<k>"``, producing one shard-labelled exposition whose
+        cross-label sums are the tier totals).  Counters add, gauges
+        set (the extra labels keep sources distinct), histograms merge
+        bucket-wise when the bounds agree.
+        """
+        for entry in snapshot.get("counters", []):
+            self.inc(
+                entry["name"],
+                float(entry["value"]),
+                **{**entry.get("labels", {}), **extra_labels},
+            )
+        for entry in snapshot.get("gauges", []):
+            self.set_gauge(
+                entry["name"],
+                float(entry["value"]),
+                **{**entry.get("labels", {}), **extra_labels},
+            )
+        for entry in snapshot.get("histograms", []):
+            name = _check_name(entry["name"])
+            key = _label_key({**entry.get("labels", {}), **extra_labels})
+            buckets = tuple(entry["buckets"])
+            with self._lock:
+                spec = self._bucket_spec.setdefault(name, buckets)
+                series = self._histograms.setdefault(name, {})
+                hist = series.get(key)
+                if hist is None:
+                    hist = series[key] = _Histogram(buckets=spec)
+                if buckets != hist.buckets:
+                    raise ValueError(
+                        f"histogram {name}: bucket bounds differ; "
+                        "cannot merge"
+                    )
+                for i, count in enumerate(entry["counts"]):
+                    hist.counts[i] += int(count)
+                hist.total += float(entry["sum"])
+                hist.n += int(entry["count"])
+
     def to_prometheus(self) -> str:
         """Render the Prometheus text exposition format (v0.0.4)."""
         lines: list[str] = []

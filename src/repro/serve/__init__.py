@@ -16,15 +16,28 @@ monthly without downtime (§6).  This package is that serving layer:
 * :class:`OnlineVettingService` — queue → pipeline → verdict wiring
   on top of the batch engine stack.
 * :func:`make_server` / :class:`VettingHTTPServer` — stdlib HTTP JSON
-  API (``/submit``, ``/result/<md5>``, ``/healthz``, ``/metrics``).
+  API, all routes under ``/v1`` in one declarative route table
+  (``/v1/submit``, ``/v1/result/<md5>``, ``/v1/healthz``,
+  ``/v1/metrics``) with a unified error envelope (:data:`ERROR_CODES`).
+* :class:`ShardRouter` / :func:`make_router_server` — the sharded
+  multi-process tier: N worker processes, md5-routed
+  (:func:`shard_of`), per-shard WAL segments, scatter/gather
+  ``/v1/healthz`` and ``/v1/metrics`` at the front door.
 
 See ``docs/serving.md`` for the durability model, promotion policy,
-and API reference.
+sharded topology, and API reference.
 """
 
 from repro.serve.codec import apk_from_dict, apk_to_dict
 from repro.serve.evolution import ShadowPromotionGate
-from repro.serve.http import VettingHTTPServer, make_server
+from repro.serve.http import (
+    API_PREFIX,
+    ERROR_CODES,
+    ROUTES,
+    VettingHTTPServer,
+    error_body,
+    make_server,
+)
 from repro.serve.queue import (
     LANE_BULK,
     LANE_ESCALATED,
@@ -33,6 +46,8 @@ from repro.serve.queue import (
     QueueFullError,
     SubmissionQueue,
     SubmissionRecord,
+    WrongShardError,
+    shard_of,
 )
 from repro.serve.registry import (
     IntegrityError,
@@ -42,13 +57,22 @@ from repro.serve.registry import (
     RWLock,
     ScoredSubmission,
 )
-from repro.serve.service import OnlineVettingService
+from repro.serve.service import DrainStatus, OnlineVettingService
+from repro.serve.shard import (
+    ShardRouter,
+    ShardUnavailableError,
+    make_router_server,
+)
 
 __all__ = [
+    "API_PREFIX",
+    "ERROR_CODES",
     "LANE_BULK",
     "LANE_ESCALATED",
     "LANE_RESUBMIT",
     "LANES",
+    "ROUTES",
+    "DrainStatus",
     "IntegrityError",
     "ModelRegistry",
     "ModelVersion",
@@ -58,10 +82,16 @@ __all__ = [
     "RWLock",
     "ScoredSubmission",
     "ShadowPromotionGate",
+    "ShardRouter",
+    "ShardUnavailableError",
     "SubmissionQueue",
     "SubmissionRecord",
     "VettingHTTPServer",
+    "WrongShardError",
     "apk_from_dict",
     "apk_to_dict",
+    "error_body",
+    "make_router_server",
     "make_server",
+    "shard_of",
 ]

@@ -1,150 +1,367 @@
-"""HTTP JSON API over :class:`~repro.serve.service.OnlineVettingService`.
+"""Versioned HTTP JSON API over the online vetting service.
 
 Stdlib-only (``http.server.ThreadingHTTPServer``) so the serving layer
-adds no dependencies.  Endpoints:
+adds no dependencies.  All routes live under the ``/v1`` prefix in one
+declarative route table (:data:`ROUTES`) — method, path pattern,
+handler name — dispatched against an *API object* (:class:`ServiceApi`
+for a single service or shard worker,
+:class:`~repro.serve.shard.RouterApi` for the shard router front door),
+so the wire contract is defined exactly once and every server speaks
+it:
 
-* ``POST /submit`` — body ``{"apk": {...}, "lane": "bulk"}`` (or a bare
-  APK wire dict).  ``202`` with an acceptance ticket; ``429`` when
-  admission control rejects (queue full); ``400`` on malformed payloads.
-* ``GET /result/<md5>`` — ``200`` with the terminal outcome, ``202``
-  with ``{"status": "pending"|"in_flight"}`` while queued, ``404`` for
-  an unknown md5.
-* ``GET /explain/<md5>`` — ``200`` with the behavior-rule evidence for
-  a terminal submission (``explanation`` is ``null`` for clean ones),
-  ``202`` while queued, ``404`` for an unknown md5.
-* ``GET /healthz`` — liveness + active model version + queue depth.
+* ``POST /v1/submit`` — body ``{"apk": {...}, "lane": "bulk"}`` (or a
+  bare APK wire dict).  ``202`` with an acceptance ticket; ``429`` when
+  admission control rejects (queue full); ``409`` when a shard-scoped
+  service does not own the md5; ``400`` on malformed payloads.
+* ``GET /v1/result/<md5>`` — ``200`` with the terminal outcome,
+  ``202`` with ``{"status": "pending"|"in_flight"}`` while queued,
+  ``404`` for an unknown md5.
+* ``GET /v1/explain/<md5>`` — ``200`` with the behavior-rule evidence
+  for a terminal submission (``explanation`` is ``null`` for clean
+  ones), ``202`` while queued, ``404`` for an unknown md5.
+* ``GET /v1/healthz`` — liveness + active model version + queue depth
+  (``503`` when not serving).
+* ``GET /v1/metrics`` — Prometheus text exposition of the unified
+  :class:`~repro.obs.MetricsRegistry`.
+* ``GET /v1/metrics.json`` — the same registry as a JSON snapshot
+  (what the shard router scrapes to build its aggregated exposition).
 
-Every error (including 404s) carries a JSON body with an ``error`` key.
-* ``GET /metrics`` — Prometheus text exposition of the unified
-  :class:`~repro.obs.MetricsRegistry` (engine, pipeline, queue, model
-  registry, and service counters in one scrape).
+**Error envelope.**  Every error body is one JSON shape, shared by the
+router and every shard worker::
+
+    {"error": {"code": "<one of ERROR_CODES>", "message": "...", "md5": "..."?}}
+
+**Legacy aliases.**  The unprefixed PR 3 paths (``/submit``,
+``/result/<md5>``, ``/explain/<md5>``, ``/healthz``, ``/metrics``)
+answer ``301 Moved Permanently`` to their ``/v1`` successor with a
+``Deprecation: true`` header, for one release; clients must move to
+``/v1``.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.codec import apk_from_dict
-from repro.serve.queue import LANES, QueueFullError
+from repro.serve.queue import LANES, QueueFullError, WrongShardError
 from repro.serve.service import OnlineVettingService
 
-__all__ = ["VettingHTTPServer", "make_server"]
+__all__ = [
+    "API_PREFIX",
+    "ERROR_CODES",
+    "ROUTES",
+    "Response",
+    "Route",
+    "ServiceApi",
+    "VettingHTTPServer",
+    "error_body",
+    "make_server",
+]
+
+#: Version prefix of the current wire contract.
+API_PREFIX = "/v1"
 
 #: Submission payloads above this are rejected before parsing (DoS guard).
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: The closed set of machine-readable error codes in the envelope —
+#: part of the public wire contract (locked by ``test_public_api.py``).
+ERROR_CODES = frozenset(
+    {
+        "bad_request",        # 400: malformed body, unknown lane, bad codec
+        "not_found",          # 404: unknown endpoint or md5
+        "wrong_shard",        # 409: md5 owned by a different shard
+        "queue_full",         # 429: admission control (retry later)
+        "shard_unavailable",  # 503: owning shard down/unreachable
+    }
+)
+
+
+def error_body(code: str, message: str, md5: str | None = None) -> dict:
+    """The one JSON error envelope every server in the tier speaks."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code: {code!r}")
+    err: dict = {"code": code, "message": message}
+    if md5 is not None:
+        err["md5"] = md5
+    return {"error": err}
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response an API handler returns to the dispatcher.
+
+    ``payload`` (a dict) is serialized as JSON; ``text`` bodies carry
+    ``content_type`` verbatim (the Prometheus exposition).  ``headers``
+    are extra response headers (alias redirects set ``Location`` and
+    ``Deprecation``).
+    """
+
+    status: int
+    payload: dict | None = None
+    text: str | None = None
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class Route:
+    """One row of the route table: method + path pattern + handler name."""
+
+    method: str
+    pattern: re.Pattern = field(repr=False)
+    handler: str
+
+    @property
+    def path(self) -> str:
+        return self.pattern.pattern
+
+
+def _route(method: str, pattern: str, handler: str) -> Route:
+    return Route(method, re.compile(pattern), handler)
+
+_MD5 = r"(?P<md5>[0-9a-fA-F]{4,64})"
+
+#: The single route table: every ``/v1`` endpoint, declaratively.
+#: Handlers are method names resolved on the server's API object;
+#: named groups in the pattern become handler keyword arguments, and
+#: POST handlers additionally receive the raw request ``body``.
+ROUTES: tuple[Route, ...] = (
+    _route("GET", r"^/v1/healthz$", "healthz"),
+    _route("GET", r"^/v1/metrics$", "metrics"),
+    _route("GET", r"^/v1/metrics\.json$", "metrics_json"),
+    _route("GET", rf"^/v1/result/{_MD5}$", "result"),
+    _route("GET", rf"^/v1/explain/{_MD5}$", "explain"),
+    _route("POST", r"^/v1/submit$", "submit"),
+)
+
+
+class ServiceApi:
+    """Route handlers over one :class:`OnlineVettingService`.
+
+    Used directly by a single-process deployment and by every shard
+    worker (whose service carries a shard identity, surfacing 409s for
+    misrouted md5s).
+    """
+
+    def __init__(self, service: OnlineVettingService):
+        self.service = service
+
+    # -- reads ---------------------------------------------------------
+
+    def healthz(self) -> Response:
+        health = self.service.healthz()
+        status = 200 if health["status"] == "ok" else 503
+        return Response(status, payload=health)
+
+    def metrics(self) -> Response:
+        return Response(
+            200,
+            text=self.service.metrics_text(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def metrics_json(self) -> Response:
+        return Response(
+            200, text=self.service.metrics.to_json(), content_type="application/json"
+        )
+
+    def result(self, md5: str) -> Response:
+        return _state_response(self.service.result(md5), md5)
+
+    def explain(self, md5: str) -> Response:
+        return _state_response(self.service.explain(md5), md5)
+
+    # -- writes --------------------------------------------------------
+
+    def submit(self, body: bytes) -> Response:
+        try:
+            apk, lane = parse_submission(body)
+        except ValueError as exc:
+            return Response(
+                400, payload=error_body("bad_request", str(exc))
+            )
+        try:
+            ticket = self.service.submit(apk, lane)
+        except QueueFullError as exc:
+            return Response(
+                429, payload=error_body("queue_full", str(exc), apk.md5)
+            )
+        except WrongShardError as exc:
+            return Response(
+                409, payload=error_body("wrong_shard", str(exc), exc.md5)
+            )
+        return Response(202, payload=ticket)
+
+
+def parse_submission(body: bytes):
+    """Decode one ``POST /v1/submit`` body into ``(apk, lane)``.
+
+    Shared by the service API and the shard router (which validates
+    before proxying so malformed submissions never cross the wire
+    twice).  Raises ``ValueError`` on any malformed payload.
+    """
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad submission: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("bad submission: payload must be a JSON object")
+    apk_dict = payload.get("apk", payload)
+    lane = payload.get("lane", "bulk")
+    if isinstance(lane, str) and lane not in LANES:
+        raise ValueError(
+            f"bad submission: unknown lane {lane!r}; "
+            f"expected one of {sorted(LANES)}"
+        )
+    try:
+        apk = apk_from_dict(apk_dict)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"bad submission: {exc}") from exc
+    return apk, lane
+
+
+def _state_response(payload: dict, md5: str) -> Response:
+    """Map a submission-state payload onto 200/202/404."""
+    state = payload.get("status")
+    if state in ("done", "failed"):
+        return Response(200, payload=payload)
+    if state in ("pending", "in_flight"):
+        return Response(202, payload=payload)
+    return Response(
+        404,
+        payload={
+            **payload,
+            **error_body("not_found", f"unknown submission: {md5}", md5),
+        },
+    )
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """One request; the service instance hangs off the server object."""
+    """Table-driven dispatch; the API object hangs off the server."""
 
     server: "VettingHTTPServer"
     protocol_version = "HTTP/1.1"
 
-    # -- plumbing ------------------------------------------------------
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
     def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
         pass
 
-    def _send_state(self, payload: dict, md5: str) -> None:
-        """Map a submission-state payload onto 200/202/404."""
-        state = payload.get("status")
-        if state in ("done", "failed"):
-            self._send_json(200, payload)
-        elif state in ("pending", "in_flight"):
-            self._send_json(202, payload)
+    def _send(self, response: Response) -> None:
+        if response.text is not None:
+            body = response.text.encode("utf-8")
+            content_type = response.content_type
         else:
-            self._send_json(
-                404, {**payload, "error": f"unknown submission: {md5}"}
-            )
+            body = json.dumps(response.payload).encode("utf-8")
+            content_type = "application/json"
+        self.send_response(response.status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
 
-    # -- routes --------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/healthz":
-            health = service.healthz()
-            status = 200 if health["status"] == "ok" else 503
-            self._send_json(status, health)
-        elif path == "/metrics":
-            self._send_text(
-                200,
-                service.metrics_text(),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-        elif path.startswith("/result/"):
-            md5 = path[len("/result/"):]
-            self._send_state(service.result(md5), md5)
-        elif path.startswith("/explain/"):
-            md5 = path[len("/explain/"):]
-            self._send_state(service.explain(md5), md5)
-        else:
-            self._send_json(404, {"error": f"no such endpoint: {path}"})
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/submit":
-            self._send_json(404, {"error": f"no such endpoint: {path}"})
-            return
+    def _read_body(self) -> bytes | None:
+        """The request body, or None (response already sent) on abuse."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = -1
         if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(
-                400, {"error": "missing or oversized request body"}
-            )
-            return
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw)
-            if not isinstance(payload, dict):
-                raise ValueError("payload must be a JSON object")
-            apk_dict = payload.get("apk", payload)
-            lane = payload.get("lane", "bulk")
-            if isinstance(lane, str) and lane not in LANES:
-                raise ValueError(
-                    f"unknown lane {lane!r}; expected one of {sorted(LANES)}"
+            self._send(
+                Response(
+                    400,
+                    payload=error_body(
+                        "bad_request", "missing or oversized request body"
+                    ),
                 )
-            apk = apk_from_dict(apk_dict)
-        except (ValueError, KeyError, TypeError) as exc:
-            self._send_json(400, {"error": f"bad submission: {exc}"})
+            )
+            return None
+        return self.rfile.read(length)
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        for route in self.server.routes:
+            if route.method != method:
+                continue
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            kwargs = match.groupdict()
+            if method == "POST":
+                body = self._read_body()
+                if body is None:
+                    return
+                kwargs["body"] = body
+            self._send(getattr(self.server.api, route.handler)(**kwargs))
             return
-        try:
-            ticket = service.submit(apk, lane)
-        except QueueFullError as exc:
-            self._send_json(429, {"error": str(exc)})
-            return
-        self._send_json(202, ticket)
+        # Legacy unprefixed alias: 301 to the /v1 successor, flagged
+        # deprecated.  One release of grace, then these go away.
+        if not path.startswith(API_PREFIX):
+            target = API_PREFIX + path
+            if any(
+                r.method == method and r.pattern.match(target)
+                for r in self.server.routes
+            ):
+                self._send(
+                    Response(
+                        301,
+                        payload={
+                            "location": target,
+                            "deprecation": (
+                                "unversioned paths are deprecated; "
+                                f"use {target}"
+                            ),
+                        },
+                        headers=(
+                            ("Location", target),
+                            ("Deprecation", "true"),
+                            ("Link", f'<{target}>; rel="successor-version"'),
+                        ),
+                    )
+                )
+                return
+        self._send(
+            Response(
+                404,
+                payload=error_body(
+                    "not_found", f"no such endpoint: {method} {path}"
+                ),
+            )
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
 
 
 class VettingHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying its service; one thread per request."""
+    """ThreadingHTTPServer carrying its API object; thread per request.
+
+    ``api`` is any object implementing the handler names in ``routes``
+    (default: the :data:`ROUTES` table) — a :class:`ServiceApi` here, a
+    :class:`~repro.serve.shard.RouterApi` for the shard front door.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: OnlineVettingService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        api,
+        routes: tuple[Route, ...] = ROUTES,
+    ):
         super().__init__(address, _Handler)
-        self.service = service
+        self.api = api
+        self.routes = routes
+        # Back-compat: the wrapped service, when the API has one.
+        self.service = getattr(api, "service", None)
         self._thread: threading.Thread | None = None
 
     @property
@@ -176,4 +393,4 @@ def make_server(
     port: int = 0,
 ) -> VettingHTTPServer:
     """Bind the API (port 0 picks a free port; see ``server.port``)."""
-    return VettingHTTPServer((host, port), service)
+    return VettingHTTPServer((host, port), ServiceApi(service))

@@ -33,8 +33,10 @@ __all__ = [
     "LANE_RESUBMIT",
     "LANE_BULK",
     "QueueFullError",
+    "WrongShardError",
     "SubmissionRecord",
     "SubmissionQueue",
+    "shard_of",
 ]
 
 #: Priority lanes, most urgent first.  Lower number = dispatched first.
@@ -56,6 +58,40 @@ WAL_FORMAT_VERSION = 1
 
 class QueueFullError(RuntimeError):
     """Admission control rejected a submission (queue at max depth)."""
+
+
+class WrongShardError(RuntimeError):
+    """A submission was routed to a shard that does not own its md5.
+
+    Raised by a shard-scoped service when ``shard_of(md5, n_shards)``
+    disagrees with the shard's identity; the HTTP layer maps it to
+    ``409 Conflict`` so a misconfigured router or direct-to-shard client
+    fails loudly instead of splitting one md5's history across WALs.
+    """
+
+    def __init__(self, md5: str, owner: int, shard_id: int, n_shards: int):
+        super().__init__(
+            f"submission {md5} belongs to shard {owner}/{n_shards}, "
+            f"not shard {shard_id}"
+        )
+        self.md5 = md5
+        self.owner = owner
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+
+
+def shard_of(md5: str, n_shards: int) -> int:
+    """The shard that owns one md5 (stable content-hash routing).
+
+    The low 64 bits of the md5 taken modulo ``n_shards``: deterministic
+    across processes and runs (no PYTHONHASHSEED dependence), uniform
+    because md5 output is, and independent of submission order — the
+    same APK always lands on the same shard, which is what keeps one
+    md5's WAL history, coalescing, and observation cache shard-local.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return int(md5[-16:], 16) % n_shards
 
 
 def lane_name(lane: int) -> str:
@@ -388,6 +424,18 @@ class SubmissionQueue:
     def inflight(self) -> int:
         with self._lock:
             return len(self._inflight)
+
+    def pending_md5s(self) -> frozenset[str]:
+        """md5s accepted but not yet terminal (pending + in flight).
+
+        A shutdown snapshot: everything in this set still has an
+        uncompleted acceptance record in the WAL and will be replayed
+        by the next open on the same spool.
+        """
+        with self._lock:
+            md5s = set(self._pending)
+            md5s.update(e.md5 for e in self._inflight.values())
+            return frozenset(md5s)
 
     def status(self, md5: str) -> str:
         """``pending`` / ``in_flight`` / ``done`` / ``unknown``."""

@@ -27,14 +27,42 @@ from repro.serve.queue import (
     QueueFullError,
     SubmissionQueue,
     SubmissionRecord,
+    WrongShardError,
     lane_name,
+    shard_of,
 )
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["OnlineVettingService"]
+__all__ = ["DrainStatus", "OnlineVettingService"]
 
 #: End-to-end latency buckets (accept -> terminal outcome, seconds).
 E2E_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class DrainStatus:
+    """Outcome of :meth:`OnlineVettingService.drain`.
+
+    Truthy exactly when the queue fully drained (so existing
+    ``assert service.drain(...)`` call sites keep their meaning);
+    :attr:`pending` names the md5s that had not reached a terminal
+    outcome when the wait ended, so a caller that timed out knows
+    precisely which submissions to log or requeue.
+    """
+
+    __slots__ = ("drained", "pending")
+
+    def __init__(self, drained: bool, pending: frozenset[str]):
+        self.drained = drained
+        self.pending = pending
+
+    def __bool__(self) -> bool:
+        return self.drained
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DrainStatus(drained={self.drained}, "
+            f"pending={len(self.pending)} md5s)"
+        )
 
 
 class OnlineVettingService:
@@ -67,6 +95,19 @@ class OnlineVettingService:
             ``False`` disables it.  Explanations are embedded in the
             WAL-recorded outcome, so they survive restart and are
             served by ``GET /explain/<md5>``.
+        shard: ``(shard_id, n_shards)`` when this service is one shard
+            of a sharded tier; :meth:`submit` then rejects md5s owned
+            by another shard with :class:`WrongShardError` (HTTP 409),
+            keeping each md5's WAL history strictly shard-local.
+            ``None`` (default) accepts everything.
+        pace_seconds_per_minute: slot-occupancy pacing forwarded to the
+            per-batch :class:`VettingPipeline` (see its docstring).
+        pipeline_factory: injectable dispatch — a callable
+            ``(engine) -> VettingPipeline`` used to build the pipeline
+            for each micro-batch.  Default: a pipeline over this
+            service's cluster/workers/cache/pace configuration.  The
+            shard tier injects per-shard objects here so worker
+            processes share no mutable state.
     """
 
     def __init__(
@@ -83,11 +124,28 @@ class OnlineVettingService:
         cluster: ServerCluster | None = None,
         poll_seconds: float = 0.05,
         rules: bool = True,
+        shard: tuple[int, int] | None = None,
+        pace_seconds_per_minute: float = 0.0,
+        pipeline_factory=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if shard is not None:
+            shard = (int(shard[0]), int(shard[1]))
+            if not 0 <= shard[0] < shard[1]:
+                raise ValueError(
+                    f"shard id {shard[0]} out of range for "
+                    f"{shard[1]} shard(s)"
+                )
+        self.shard = shard
+        self.pace_seconds_per_minute = pace_seconds_per_minute
+        self.pipeline_factory = (
+            pipeline_factory
+            if pipeline_factory is not None
+            else self._default_pipeline
+        )
         self.models = models
         self.metrics = metrics if metrics is not None else models.metrics
         self.queue = queue if queue is not None else SubmissionQueue(
@@ -102,6 +160,8 @@ class OnlineVettingService:
         self.poll_seconds = poll_seconds
         if cache is True:
             cache = ObservationCache()
+        elif cache is False:
+            cache = None
         elif isinstance(cache, (str, Path)):
             cache = ObservationCache(cache)
         self.cache = cache
@@ -130,7 +190,15 @@ class OnlineVettingService:
 
         Raises:
             QueueFullError: admission control rejected the submission.
+            WrongShardError: this service is shard-scoped and another
+                shard owns the submission's md5.
         """
+        if self.shard is not None:
+            shard_id, n_shards = self.shard
+            owner = shard_of(apk.md5, n_shards)
+            if owner != shard_id:
+                self.metrics.inc("serve_wrong_shard_rejects_total")
+                raise WrongShardError(apk.md5, owner, shard_id, n_shards)
         entry = self.queue.submit(apk, lane)
         self._accept_wall.setdefault(entry.seq, time.perf_counter())
         return {
@@ -167,8 +235,8 @@ class OnlineVettingService:
         return {"md5": md5, "status": self.queue.status(md5)}
 
     def healthz(self) -> dict:
-        """Liveness/readiness summary for ``GET /healthz``."""
-        return {
+        """Liveness/readiness summary for ``GET /v1/healthz``."""
+        health = {
             "status": "ok" if self.running else "stopped",
             "active_model_version": self.models.active_version,
             "shadow_model_version": self.models.shadow_version,
@@ -179,6 +247,10 @@ class OnlineVettingService:
                 time.time() - self.started_at if self.started_at else 0.0
             ),
         }
+        if self.shard is not None:
+            health["shard"] = self.shard[0]
+            health["n_shards"] = self.shard[1]
+        return health
 
     def metrics_text(self) -> str:
         """Prometheus text exposition for ``GET /metrics``."""
@@ -209,30 +281,44 @@ class OnlineVettingService:
         self._dispatcher.start()
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Stop draining; the in-flight batch completes first."""
+    def stop(self, timeout: float = 10.0) -> frozenset[str]:
+        """Stop draining; the in-flight batch completes first.
+
+        Returns the md5s abandoned mid-queue — accepted submissions
+        that never reached a terminal outcome.  Their acceptance
+        records are still uncompleted in the WAL, so a restart on the
+        same spool replays them; a shard router logs (or requeues)
+        exactly this set on shutdown.
+        """
         self._stop.set()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
             self._dispatcher = None
+        return self.queue.pending_md5s()
 
-    def close(self) -> None:
-        self.stop()
+    def close(self) -> frozenset[str]:
+        abandoned = self.stop()
         self.queue.close()
+        return abandoned
 
-    def drain(self, timeout: float = 30.0) -> bool:
+    def drain(self, timeout: float = 30.0) -> DrainStatus:
         """Block until every accepted submission is terminal.
 
-        Returns False on timeout.  The service must be running.
+        Returns a :class:`DrainStatus`: truthy when the queue fully
+        drained, falsy on timeout — with the still-pending md5 set
+        attached either way.  The service must be running.
         """
         deadline = time.monotonic() + timeout
         with self._idle:
             while True:
                 if self.queue.depth == 0 and self._processing == 0:
-                    return True
+                    return DrainStatus(True, frozenset())
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self.running:
-                    return self.queue.depth == 0 and self._processing == 0
+                    drained = (
+                        self.queue.depth == 0 and self._processing == 0
+                    )
+                    return DrainStatus(drained, self.queue.pending_md5s())
                 self._idle.wait(min(remaining, 0.25))
 
     def _dispatch_loop(self) -> None:
@@ -250,6 +336,18 @@ class OnlineVettingService:
                 with self._idle:
                     self._processing -= len(batch)
                     self._idle.notify_all()
+
+    def _default_pipeline(self, engine) -> VettingPipeline:
+        """The default dispatch: a pipeline over this service's config."""
+        return VettingPipeline(
+            engine,
+            cluster=self.cluster,
+            workers=self.workers,
+            cache=self.cache,
+            pace_seconds_per_minute=self.pace_seconds_per_minute,
+            registry=self.metrics,
+            sink=self.sink,
+        )
 
     def _evaluator_for(self, version: int, checker) -> RuleEvaluator:
         """The rule evaluator compiled for one model version.
@@ -275,14 +373,7 @@ class OnlineVettingService:
             return
         self.metrics.inc("serve_batches_total")
         with self.models.lease() as (version, checker, shadow):
-            pipeline = VettingPipeline(
-                checker.production_engine,
-                cluster=self.cluster,
-                workers=self.workers,
-                cache=self.cache,
-                registry=self.metrics,
-                sink=self.sink,
-            )
+            pipeline = self.pipeline_factory(checker.production_engine)
             result = pipeline.run([entry.apk for entry in batch])
             # One blocked scoring call for the whole micro-batch (and
             # one more for the shadow model), all under this lease.
@@ -392,3 +483,4 @@ class OnlineVettingService:
 # Re-exported for convenience: callers catching admission rejects at the
 # service layer shouldn't need to import the queue module.
 OnlineVettingService.QueueFullError = QueueFullError
+OnlineVettingService.WrongShardError = WrongShardError

@@ -24,6 +24,7 @@ PUBLIC_API = frozenset(
         "BehaviorReport",
         "CorpusGenerator",
         "DynamicAnalysisEngine",
+        "ERROR_CODES",
         "EngineStats",
         "EvolutionLoop",
         "FeatureMode",
@@ -42,6 +43,8 @@ PUBLIC_API = frozenset(
         "RuleSpec",
         "SdkSpec",
         "ShadowPromotionGate",
+        "ShardRouter",
+        "ShardUnavailableError",
         "SpanSink",
         "SubmissionQueue",
         "TMarket",
@@ -49,12 +52,15 @@ PUBLIC_API = frozenset(
         "VetVerdict",
         "VettingPipeline",
         "VettingService",
+        "WrongShardError",
         "builtin_ruleset",
         "default_registry",
         "lint_ruleset",
         "load_ruleset",
+        "make_router_server",
         "make_server",
         "select_key_apis",
+        "shard_of",
         "span",
     }
 )
@@ -76,6 +82,34 @@ def test_public_api_contract_is_locked():
 def test_all_is_sorted_and_unique():
     assert sorted(repro.__all__) == list(repro.__all__)
     assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+def test_error_envelope_wire_contract_is_locked():
+    """The /v1 error codes are a frozen wire contract.
+
+    Adding a code is a versioned API change; removing or renaming one
+    breaks deployed clients.  Either must update this lock AND
+    ``docs/serving.md`` deliberately.
+    """
+    from repro import ERROR_CODES
+    from repro.serve.http import error_body
+
+    assert ERROR_CODES == frozenset(
+        {
+            "bad_request",
+            "not_found",
+            "wrong_shard",
+            "queue_full",
+            "shard_unavailable",
+        }
+    )
+    body = error_body("not_found", "missing", md5="abcd")
+    assert body == {
+        "error": {"code": "not_found", "message": "missing", "md5": "abcd"}
+    }
+    assert "md5" not in error_body("bad_request", "nope")["error"]
+    with pytest.raises(ValueError):
+        error_body("made_up_code", "boom")
 
 
 def test_observability_surface_reexported():

@@ -1,5 +1,6 @@
-"""Tests for the HTTP JSON API over the online vetting service."""
+"""Tests for the versioned (/v1) HTTP JSON API over the vetting service."""
 
+import http.client
 import json
 import time
 import urllib.error
@@ -8,7 +9,7 @@ import urllib.request
 import pytest
 
 from repro.serve.codec import apk_to_dict
-from repro.serve.http import make_server
+from repro.serve.http import API_PREFIX, ERROR_CODES, ROUTES, make_server
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import OnlineVettingService
 
@@ -46,9 +47,21 @@ def _post(url, payload, raw=None):
         return err.code, json.loads(err.read())
 
 
+def _raw(base, method, path, body=None):
+    """One request without redirect-following (alias assertions)."""
+    host, port = base.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10.0)
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response, json.loads(data) if data else None
+
+
 def test_healthz(served):
     _, base = served
-    status, health = _get(f"{base}/healthz")
+    status, health = _get(f"{base}/v1/healthz")
     assert status == 200
     assert health["status"] == "ok"
     assert health["active_model_version"] == 1
@@ -58,7 +71,7 @@ def test_submit_then_poll_result(served, generator):
     service, base = served
     apk = generator.sample_app()
     status, ticket = _post(
-        f"{base}/submit", {"apk": apk_to_dict(apk), "lane": "resubmit"}
+        f"{base}/v1/submit", {"apk": apk_to_dict(apk), "lane": "resubmit"}
     )
     assert status == 202
     assert ticket["md5"] == apk.md5
@@ -66,7 +79,7 @@ def test_submit_then_poll_result(served, generator):
 
     deadline = time.monotonic() + 60.0
     while time.monotonic() < deadline:
-        status, outcome = _get(f"{base}/result/{apk.md5}")
+        status, outcome = _get(f"{base}/v1/result/{apk.md5}")
         if status == 200:
             break
         assert status == 202
@@ -80,33 +93,37 @@ def test_submit_then_poll_result(served, generator):
 def test_bare_apk_payload_defaults_to_bulk(served, generator):
     _, base = served
     apk = generator.sample_app()
-    status, ticket = _post(f"{base}/submit", apk_to_dict(apk))
+    status, ticket = _post(f"{base}/v1/submit", apk_to_dict(apk))
     assert status == 202 and ticket["lane"] == "bulk"
 
 
 def test_result_unknown_md5_is_404(served):
     _, base = served
-    status, outcome = _get(f"{base}/result/deadbeef")
+    status, outcome = _get(f"{base}/v1/result/deadbeef")
     assert status == 404
     assert outcome["status"] == "unknown"
+    assert outcome["error"]["code"] == "not_found"
+    assert outcome["error"]["md5"] == "deadbeef"
 
 
-def test_404_bodies_carry_json_error_key(served):
-    """Every 404 body is JSON with an ``error`` key naming the miss."""
+def test_error_envelope_shape_on_404(served):
+    """Every error body is the one envelope: ``{"error": {code, message}}``."""
     _, base = served
     for endpoint in ("result", "explain"):
-        status, body = _get(f"{base}/{endpoint}/deadbeef")
+        status, body = _get(f"{base}/v1/{endpoint}/deadbeef")
         assert status == 404
-        assert body["status"] == "unknown"
-        assert "deadbeef" in body["error"]
-    status, body = _get(f"{base}/nope")
-    assert status == 404 and "no such endpoint" in body["error"]
+        assert body["error"]["code"] == "not_found"
+        assert "deadbeef" in body["error"]["message"]
+    status, body = _get(f"{base}/v1/nope")
+    assert status == 404
+    assert body["error"]["code"] == "not_found"
+    assert "no such endpoint" in body["error"]["message"]
 
 
 def _drain_result(base, md5, deadline_s=60.0):
     deadline = time.monotonic() + deadline_s
     while time.monotonic() < deadline:
-        status, outcome = _get(f"{base}/result/{md5}")
+        status, outcome = _get(f"{base}/v1/result/{md5}")
         if status == 200:
             return outcome
         time.sleep(0.02)
@@ -116,10 +133,10 @@ def _drain_result(base, md5, deadline_s=60.0):
 def test_explain_serves_rule_evidence_for_flagged(served, generator):
     service, base = served
     apk = generator.sample_app(malicious=True)
-    status, _ = _post(f"{base}/submit", apk_to_dict(apk))
+    status, _ = _post(f"{base}/v1/submit", apk_to_dict(apk))
     assert status == 202
     outcome = _drain_result(base, apk.md5)
-    status, explained = _get(f"{base}/explain/{apk.md5}")
+    status, explained = _get(f"{base}/v1/explain/{apk.md5}")
     assert status == 200
     assert explained["md5"] == apk.md5
     assert explained["malicious"] == outcome["malicious"]
@@ -139,9 +156,9 @@ def test_explain_serves_rule_evidence_for_flagged(served, generator):
 def test_explain_is_null_for_clean_apps(served, generator):
     service, base = served
     apk = generator.sample_app(malicious=False)
-    _post(f"{base}/submit", apk_to_dict(apk))
+    _post(f"{base}/v1/submit", apk_to_dict(apk))
     outcome = _drain_result(base, apk.md5)
-    status, explained = _get(f"{base}/explain/{apk.md5}")
+    status, explained = _get(f"{base}/v1/explain/{apk.md5}")
     assert status == 200
     if outcome["malicious"]:  # classifier FP still gets an explanation
         assert explained["explanation"] is not None
@@ -158,8 +175,8 @@ def test_explain_pending_is_202(tmp_path, fitted_checker, generator):
     base = f"http://127.0.0.1:{server.port}"
     try:
         apk = generator.sample_app()
-        _post(f"{base}/submit", apk_to_dict(apk))
-        status, body = _get(f"{base}/explain/{apk.md5}")
+        _post(f"{base}/v1/submit", apk_to_dict(apk))
+        status, body = _get(f"{base}/v1/explain/{apk.md5}")
         assert status == 202
         assert body["status"] == "pending"
     finally:
@@ -172,34 +189,38 @@ def test_explain_metrics_land_in_scrape(served, generator):
     service, base = served
     for _ in range(6):
         apk = generator.sample_app(malicious=True)
-        _post(f"{base}/submit", apk_to_dict(apk))
+        _post(f"{base}/v1/submit", apk_to_dict(apk))
     assert service.drain(60.0)
     text = urllib.request.urlopen(
-        f"{base}/metrics", timeout=10.0
+        f"{base}/v1/metrics", timeout=10.0
     ).read().decode()
     assert "rules_evaluations_total" in text
 
 
 def test_malformed_submissions_are_400(served, generator):
     _, base = served
-    status, err = _post(f"{base}/submit", None, raw=b"{not json")
-    assert status == 400 and "bad submission" in err["error"]
-
-    status, err = _post(f"{base}/submit", ["not", "a", "dict"])
+    status, err = _post(f"{base}/v1/submit", None, raw=b"{not json")
     assert status == 400
+    assert err["error"]["code"] == "bad_request"
+    assert "bad submission" in err["error"]["message"]
+
+    status, err = _post(f"{base}/v1/submit", ["not", "a", "dict"])
+    assert status == 400 and err["error"]["code"] == "bad_request"
 
     record = apk_to_dict(generator.sample_app())
     status, err = _post(
-        f"{base}/submit", {"apk": record, "lane": "express"}
+        f"{base}/v1/submit", {"apk": record, "lane": "express"}
     )
-    assert status == 400 and "unknown lane" in err["error"]
+    assert status == 400
+    assert "unknown lane" in err["error"]["message"]
 
     record["md5"] = "0" * 32  # corrupt content hash
-    status, err = _post(f"{base}/submit", {"apk": record})
-    assert status == 400 and "corrupt" in err["error"]
-
-    status, err = _post(f"{base}/submit", None, raw=b"")
+    status, err = _post(f"{base}/v1/submit", {"apk": record})
     assert status == 400
+    assert "corrupt" in err["error"]["message"]
+
+    status, err = _post(f"{base}/v1/submit", None, raw=b"")
+    assert status == 400 and err["error"]["code"] == "bad_request"
 
 
 def test_queue_full_is_429(tmp_path, fitted_checker, generator):
@@ -211,14 +232,15 @@ def test_queue_full_is_429(tmp_path, fitted_checker, generator):
     base = f"http://127.0.0.1:{server.port}"
     try:
         status, _ = _post(
-            f"{base}/submit", apk_to_dict(generator.sample_app())
+            f"{base}/v1/submit", apk_to_dict(generator.sample_app())
         )
         assert status == 202
-        status, err = _post(
-            f"{base}/submit", apk_to_dict(generator.sample_app())
-        )
+        apk = generator.sample_app()
+        status, err = _post(f"{base}/v1/submit", apk_to_dict(apk))
         assert status == 429
-        assert "max depth" in err["error"]
+        assert err["error"]["code"] == "queue_full"
+        assert "max depth" in err["error"]["message"]
+        assert err["error"]["md5"] == apk.md5
     finally:
         server.stop()
         service.close()
@@ -228,7 +250,7 @@ def test_metrics_exposition(served, generator):
     service, base = served
     service.submit(generator.sample_app())
     assert service.drain(60.0)
-    request = urllib.request.urlopen(f"{base}/metrics", timeout=10.0)
+    request = urllib.request.urlopen(f"{base}/v1/metrics", timeout=10.0)
     assert request.status == 200
     assert request.headers["Content-Type"].startswith("text/plain")
     text = request.read().decode()
@@ -240,7 +262,82 @@ def test_metrics_exposition(served, generator):
         assert series in text
 
 
+def test_metrics_json_snapshot_round_trips(served, generator):
+    """``/v1/metrics.json`` is an ``as_dict`` snapshot (router scrape)."""
+    from repro.obs import MetricsRegistry
+
+    service, base = served
+    service.submit(generator.sample_app())
+    assert service.drain(60.0)
+    status, snapshot = _get(f"{base}/v1/metrics.json")
+    assert status == 200
+    rebuilt = MetricsRegistry.from_dict(snapshot)
+    assert rebuilt.total("serve_submissions_total") >= 1
+
+
 def test_unknown_endpoints_are_404(served):
     _, base = served
-    assert _get(f"{base}/nope")[0] == 404
-    assert _post(f"{base}/nope", {"x": 1})[0] == 404
+    assert _get(f"{base}/v1/nope")[0] == 404
+    assert _post(f"{base}/v1/nope", {"x": 1})[0] == 404
+
+
+# ----------------------------------------------------------------------
+# Route table + legacy aliases
+# ----------------------------------------------------------------------
+
+
+def test_route_table_is_fully_versioned():
+    """Every route lives under /v1 and names a real handler."""
+    from repro.serve.http import ServiceApi
+
+    assert ROUTES, "route table must not be empty"
+    for route in ROUTES:
+        assert route.path.startswith(rf"^{API_PREFIX}/")
+        assert route.method in ("GET", "POST")
+        assert callable(getattr(ServiceApi, route.handler))
+
+
+def test_error_codes_are_a_closed_set():
+    assert ERROR_CODES == {
+        "bad_request",
+        "not_found",
+        "wrong_shard",
+        "queue_full",
+        "shard_unavailable",
+    }
+
+
+def test_legacy_paths_redirect_with_deprecation(served):
+    """Unprefixed PR 3 paths 301 to /v1 with a Deprecation header."""
+    _, base = served
+    for path in ("/healthz", "/metrics", "/result/deadbeef",
+                 "/explain/deadbeef"):
+        response, body = _raw(base, "GET", path)
+        assert response.status == 301, path
+        assert response.headers["Location"] == f"/v1{path.rstrip('/')}"
+        assert response.headers["Deprecation"] == "true"
+        assert "successor-version" in response.headers["Link"]
+        assert body["location"] == f"/v1{path}"
+
+
+def test_legacy_post_submit_redirects(served, generator):
+    _, base = served
+    body = json.dumps(apk_to_dict(generator.sample_app())).encode()
+    response, payload = _raw(base, "POST", "/submit", body)
+    assert response.status == 301
+    assert response.headers["Location"] == "/v1/submit"
+    assert response.headers["Deprecation"] == "true"
+
+
+def test_legacy_get_clients_keep_working_via_redirect(served):
+    """urllib follows the 301, so unaware GET clients still function."""
+    _, base = served
+    status, health = _get(f"{base}/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+
+def test_unknown_legacy_path_is_404_not_redirect(served):
+    _, base = served
+    response, body = _raw(base, "GET", "/definitely/not/a/route")
+    assert response.status == 404
+    assert body["error"]["code"] == "not_found"
