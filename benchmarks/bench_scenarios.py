@@ -1,0 +1,199 @@
+"""Adversarial campaign gates — the serving tier under attack.
+
+Replays the bundled :mod:`repro.scenarios` campaigns against live
+serving stacks and gates on the operational claims the paper's
+deployment experience rests on:
+
+* ``repackaging_wave`` (2-shard router): once day-0 triage feedback
+  retrains and rolls out the model, recall on the repackaged payload's
+  later submissions must reach >= 0.8 — and backpressure must lose
+  nothing (exactly-once under 429 retries).
+* ``evasion_arms_race``: the same trained model serving on hardened
+  emulators must strictly out-recall its stock-emulator arm against
+  probe-forced evasive families (§4.2's arms race).
+* ``burst_flood``: the admission bound must actually reject (429s > 0)
+  and still lose nothing.
+* ``hidden_loader`` / ``label_noise`` are recorded without hard gates:
+  hidden loaders are the documented blind spot (§4.5), and label
+  poisoning measures how far the evolution gate degrades.
+
+Results land in ``benchmarks/results/scenarios.json`` (override with
+``REPRO_SCENARIOS_BENCH_OUT``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.scenarios import CampaignRunner, bundled_campaigns
+
+#: Post-feedback recall floor for the repackaged payload (acceptance
+#: criterion: the wave's day >= 1 submissions, after day-0 retraining).
+REPACKAGING_RECALL_FLOOR = 0.8
+
+
+def _default_out() -> Path:
+    override = os.environ.get("REPRO_SCENARIOS_BENCH_OUT")
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "results" / "scenarios.json"
+
+
+def _summary(report) -> dict:
+    totals = report.to_dict()["totals"]
+    return {
+        "shards": report.shards,
+        "days": [d.to_dict() for d in report.days],
+        "evolution": report.evolution,
+        "totals": totals,
+    }
+
+
+def test_adversarial_campaigns(
+    tmp_path, world, profile, fitted_checker_factory, once
+):
+    checker = fitted_checker_factory()
+    catalog = world.generator.catalog
+    campaigns = bundled_campaigns()
+
+    def run():
+        results = {}
+
+        # -- repackaging wave: 2-shard router, feedback retrain -------
+        repack = campaigns["repackaging_wave"]
+        report = CampaignRunner(
+            repack,
+            checker,
+            catalog=catalog,
+            shards=2,
+            workdir=tmp_path / "repack",
+            train_corpus=world.train,
+            train_observations=world.train_observations,
+        ).run()
+        results["repackaging_wave"] = _summary(report)
+        results["repackaging_wave"]["post_feedback_wave_recall"] = (
+            report.wave_recall("repackage", min_day=repack.retrain_day + 1)
+        )
+
+        # -- evasion arms race: hardened vs stock serving env ---------
+        arms = campaigns["evasion_arms_race"]
+        hardened = CampaignRunner(
+            arms, checker, catalog=catalog,
+            workdir=tmp_path / "arms-hardened",
+        ).run()
+        stock = CampaignRunner(
+            dataclasses.replace(arms, hardened=False),
+            checker, catalog=catalog, workdir=tmp_path / "arms-stock",
+        ).run()
+        results["evasion_arms_race"] = {
+            "hardened": _summary(hardened),
+            "stock": _summary(stock),
+            "hardened_wave_recall": hardened.wave_recall("evasive"),
+            "stock_wave_recall": stock.wave_recall("evasive"),
+        }
+
+        # -- burst flood: admission control under pure volume ---------
+        flood_report = CampaignRunner(
+            campaigns["burst_flood"], checker, catalog=catalog,
+            workdir=tmp_path / "flood",
+        ).run()
+        results["burst_flood"] = _summary(flood_report)
+
+        # -- recorded, ungated: the known blind spots ------------------
+        hidden_report = CampaignRunner(
+            campaigns["hidden_loader"], checker, catalog=catalog,
+            workdir=tmp_path / "hidden",
+        ).run()
+        results["hidden_loader"] = _summary(hidden_report)
+        results["hidden_loader"]["wave_recall"] = (
+            hidden_report.wave_recall("hidden")
+        )
+
+        noise = campaigns["label_noise"]
+        noise_report = CampaignRunner(
+            noise, checker, catalog=catalog,
+            workdir=tmp_path / "noise",
+            train_corpus=world.train,
+            train_observations=world.train_observations,
+        ).run()
+        results["label_noise"] = _summary(noise_report)
+
+        return results
+
+    results = once(run)
+
+    repack = results["repackaging_wave"]
+    arms = results["evasion_arms_race"]
+    flood = results["burst_flood"]
+    print("\nAdversarial campaigns:")
+    print(f"  repackaging_wave (2 shards): post-feedback wave recall "
+          f"{repack['post_feedback_wave_recall']:.3f} "
+          f"(gate >= {REPACKAGING_RECALL_FLOOR}), "
+          f"lost={repack['totals']['lost']}, "
+          f"429s={repack['totals']['rejected_429']}")
+    print(f"  evasion_arms_race: hardened recall "
+          f"{arms['hardened_wave_recall']:.3f} vs stock "
+          f"{arms['stock_wave_recall']:.3f} (gate: strictly higher)")
+    print(f"  burst_flood: 429s={flood['totals']['rejected_429']} "
+          f"(gate > 0), lost={flood['totals']['lost']}, "
+          f"peak depth={flood['days'][0]['peak_queue_depth']}")
+    print(f"  hidden_loader (blind spot, ungated): wave recall "
+          f"{results['hidden_loader']['wave_recall']:.3f}")
+    noise_decision = results["label_noise"]["evolution"][0]
+    print(f"  label_noise: retrain decision "
+          f"{noise_decision['decision']!r}, "
+          f"{noise_decision['n_flipped']}/{noise_decision['n_feedback']} "
+          f"labels poisoned")
+
+    # Gates (the PR's acceptance criteria).
+    assert repack["totals"]["lost"] == 0
+    assert repack["post_feedback_wave_recall"] >= (
+        REPACKAGING_RECALL_FLOOR
+    ), "feedback retrain did not recover the repackaged payload"
+    promoted = [
+        d for d in repack["evolution"] if d["decision"] == "promoted"
+    ]
+    assert promoted, "day-0 feedback never promoted a model"
+    assert arms["hardened_wave_recall"] > arms["stock_wave_recall"], (
+        "emulator hardening bought no recall against evasive families"
+    )
+    assert flood["totals"]["rejected_429"] > 0, (
+        "flood never hit admission control"
+    )
+    assert flood["totals"]["lost"] == 0
+    for name, summary in results.items():
+        if name == "evasion_arms_race":
+            continue
+        assert summary["totals"]["lost"] == 0, name
+
+    out = _default_out()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(
+            {
+                "bench": "scenarios",
+                "profile": profile.name,
+                "gates": {
+                    "repackaging_recall_floor": REPACKAGING_RECALL_FLOOR,
+                    "post_feedback_wave_recall": (
+                        repack["post_feedback_wave_recall"]
+                    ),
+                    "hardened_wave_recall": arms["hardened_wave_recall"],
+                    "stock_wave_recall": arms["stock_wave_recall"],
+                    "flood_rejected_429": flood["totals"]["rejected_429"],
+                    "lost_total": sum(
+                        s["totals"]["lost"]
+                        for n, s in results.items()
+                        if n != "evasion_arms_race"
+                    ),
+                },
+                "campaigns": results,
+            },
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+    print(f"  wrote {out}")

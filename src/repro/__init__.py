@@ -31,7 +31,12 @@ from repro.core.selection import KeyApiSelection, select_key_apis
 from repro.core.triage import TriageCenter
 from repro.core.vetting import VettingService
 from repro.corpus.generator import AppCorpus, CorpusGenerator
-from repro.corpus.market import MarketStream, ReviewPipeline, TMarket
+from repro.corpus.market import (
+    MarketStream,
+    ReviewPipeline,
+    TMarket,
+    poison_labels,
+)
 from repro.ml.forest import RandomForest
 from repro.obs import (
     MetricsRegistry,
@@ -48,6 +53,15 @@ from repro.rules import (
     lint_ruleset,
     load_ruleset,
 )
+from repro.scenarios import (
+    AttackWave,
+    Campaign,
+    CampaignReport,
+    CampaignRunner,
+    bundled_campaigns,
+    campaign_by_name,
+    run_campaign,
+)
 from repro.serve import (
     ERROR_CODES,
     ModelRegistry,
@@ -63,7 +77,7 @@ from repro.serve import (
     shard_of,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AndroidSdk",
@@ -72,7 +86,11 @@ __all__ = [
     "Apk",
     "AppCorpus",
     "AppObservation",
+    "AttackWave",
     "BehaviorReport",
+    "Campaign",
+    "CampaignReport",
+    "CampaignRunner",
     "CorpusGenerator",
     "DynamicAnalysisEngine",
     "ERROR_CODES",
@@ -105,11 +123,15 @@ __all__ = [
     "VettingService",
     "WrongShardError",
     "builtin_ruleset",
+    "bundled_campaigns",
+    "campaign_by_name",
     "default_registry",
     "lint_ruleset",
     "load_ruleset",
     "make_router_server",
     "make_server",
+    "poison_labels",
+    "run_campaign",
     "select_key_apis",
     "shard_of",
     "span",

@@ -23,6 +23,12 @@ Commands:
   ``docs/rules.md``.
 * ``rules lint`` — check a behavior ruleset (default: the bundled one)
   for authoring mistakes; exits 1 on errors.
+* ``scenarios list`` / ``scenarios run NAME`` — the adversarial
+  campaign simulator: replay a bundled attack campaign (repackaging
+  wave, evasion arms race, hidden loaders, label poisoning, admission
+  flood) through the real serving tier and print the per-day report.
+  ``--shards N`` serves it through the multi-process shard router.
+  See ``docs/scenarios.md``.
 """
 
 from __future__ import annotations
@@ -155,6 +161,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="synthetic SDK size used to resolve names "
                            "(default 1000)")
     lint.add_argument("--seed", type=int, default=7)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="adversarial campaign simulator over the serving tier",
+    )
+    scen_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scen_sub.add_parser("list", help="list the bundled campaigns")
+    run = scen_sub.add_parser(
+        "run", help="replay one campaign through a live serving tier"
+    )
+    run.add_argument("name", help="bundled campaign name, or a JSON "
+                                  "campaign-spec file")
+    _add_common(run)
+    run.add_argument("--shards", type=int, default=1,
+                     help=">1 serves the campaign through the "
+                          "multi-process shard router (default 1: "
+                          "in-process service)")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="scale per-day volumes (e.g. 0.5 halves the "
+                          "campaign; default 1.0)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="pipeline workers per service (default 2)")
+    run.add_argument("--batch-size", type=int, default=4,
+                     help="dispatch micro-batch size (default 4)")
+    run.add_argument("--out", default=None,
+                     help="write the full campaign report JSON here")
+    # Bootstrap training is a means, not the experiment.
+    run.set_defaults(apis=1000, train=300)
     return parser
 
 
@@ -457,6 +493,78 @@ def cmd_rules(args) -> int:
     return 1 if n_errors else 0
 
 
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import Campaign, bundled_campaigns
+
+    if args.scenarios_command == "list":
+        for name, campaign in sorted(bundled_campaigns().items()):
+            print(f"{name}: {campaign.days} day(s), "
+                  f"~{campaign.planned_submissions} submissions")
+            print(f"    {campaign.description}")
+        return 0
+
+    from pathlib import Path
+
+    from repro.scenarios import CampaignRunner
+
+    bundled = bundled_campaigns()
+    if args.name in bundled:
+        campaign = bundled[args.name]
+    elif Path(args.name).is_file():
+        campaign = Campaign.from_json(Path(args.name).read_text())
+    else:
+        print(f"unknown campaign {args.name!r}; bundled: "
+              f"{', '.join(sorted(bundled))}", file=sys.stderr)
+        return 2
+    if args.scale != 1.0:
+        campaign = campaign.scaled(args.scale)
+
+    print(f"campaign {campaign.name}: {campaign.days} day(s), "
+          f"~{campaign.planned_submissions} submissions, "
+          f"shards={args.shards}")
+    # Not _build_and_fit: retraining campaigns need the bootstrap
+    # corpus back as the feedback-retrain base, so keep it.
+    from repro import AndroidSdk, ApiChecker, CorpusGenerator, SdkSpec
+
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=args.apis, seed=args.seed))
+    generator = CorpusGenerator(sdk, seed=args.seed + 1)
+    train = generator.generate(args.train)
+    checker = ApiChecker(sdk, seed=args.seed + 2).fit(train)
+    runner = CampaignRunner(
+        campaign,
+        checker,
+        catalog=generator.catalog,
+        shards=args.shards,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        train_corpus=train,
+    )
+    report = runner.run()
+    for day in report.days:
+        d = day.to_dict()
+        print(f"day {d['day']}: unique={d['n_unique']} "
+              f"precision={d['precision']:.3f} recall={d['recall']:.3f} "
+              f"p50={d['latency_p50_s']*1000:.0f}ms "
+              f"p95={d['latency_p95_s']*1000:.0f}ms "
+              f"429s={d['rejected_429']} 503s={d['unavailable_503']} "
+              f"peak_depth={d['peak_queue_depth']} "
+              f"explained={d['n_explained']}/{d['n_flagged']}")
+        for wave, recall in d["wave_recall"].items():
+            print(f"    wave {wave}: recall={recall:.3f}")
+    for decision in report.evolution:
+        print(f"retrain day {decision['day']}: {decision['decision']} "
+              f"(active_f1={decision.get('active_f1', 0):.3f} "
+              f"candidate_f1={decision.get('candidate_f1', 0):.3f})")
+    totals = report.to_dict()["totals"]
+    print(f"totals: precision={totals['precision']:.3f} "
+          f"recall={totals['recall']:.3f} lost={totals['lost']} "
+          f"429s={totals['rejected_429']}")
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+        print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -467,6 +575,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "explain": cmd_explain,
         "rules": cmd_rules,
+        "scenarios": cmd_scenarios,
     }
     return handlers[args.command](args)
 

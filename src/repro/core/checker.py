@@ -11,6 +11,7 @@ APK in ~1.3 simulated minutes.
 
 from __future__ import annotations
 
+import copy
 import functools
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -183,6 +184,34 @@ class ApiChecker:
             sink=self.sink,
         )
         return self
+
+    def with_env(self, env: DeviceEnvironment) -> "ApiChecker":
+        """A copy of this checker whose engines run in ``env``.
+
+        Model state (feature space, classifier, key-API selection) is
+        shared with the original — only the environment changes, and a
+        fitted checker gets its production engine rebuilt against the
+        new device flags.  This is how the adversarial-scenario harness
+        replays the same trained model with emulator hardening on vs.
+        off without paying for a refit.
+        """
+        clone = copy.copy(self)
+        clone.env = env
+        if self._prod_engine is not None:
+            clone._prod_engine = DynamicAnalysisEngine(
+                self.sdk,
+                tracked_api_ids=(
+                    self.key_api_ids if self.feature_mode.uses_apis else []
+                ),
+                primary=LightweightEmulator(),
+                fallback=GoogleEmulator(),
+                env=env,
+                monkey_events=self.monkey_events,
+                seed=self.seed + 1,
+                registry=self.registry,
+                sink=self.sink,
+            )
+        return clone
 
     @property
     def key_api_ids(self) -> np.ndarray:

@@ -368,6 +368,102 @@ class CorpusGenerator:
         assert apk.is_malicious == arch.malicious
         return apk
 
+    # ------------------------------------------------------------------
+    # Campaign perturbation hooks (repro.scenarios)
+    # ------------------------------------------------------------------
+
+    def sample_repackaged(
+        self,
+        host_archetype: str,
+        payload_archetype: str,
+        day: int = 0,
+        sig_use: float = 0.9,
+    ) -> Apk:
+        """Sample a benign app cloned around a malware payload.
+
+        The repackaging attack the paper's triage sees in waves: take a
+        popular benign app shape (``host_archetype``), graft a malware
+        family's signature APIs, permissions, and intents into it
+        (``payload_archetype``), and submit the clone.  The result keeps
+        the host's breadth/plumbing profile — which is exactly what
+        makes repackaged clones harder than pure family samples — but
+        is ground-truth malicious.
+
+        Clones are *not* registered in the update registry: a
+        repackaging wave is a burst of fresh packages, not organic
+        update traffic.
+        """
+        rng = self._rng
+        host = self.catalog.get(host_archetype)
+        payload = self.catalog.get(payload_archetype)
+        if host.malicious:
+            raise ValueError(
+                f"repackaging host must be benign, got {host_archetype!r}"
+            )
+        if not payload.malicious:
+            raise ValueError(
+                f"repackaging payload must be a malware archetype, "
+                f"got {payload_archetype!r}"
+            )
+        bp = self.sample_blueprint(host_archetype, rng)
+        for api_id in self.catalog.signature_of(payload_archetype):
+            if rng.random() < sig_use:
+                bp.add_direct_call(
+                    int(api_id),
+                    float(payload.rate_intensity * rng.lognormal(0.0, 0.5)),
+                    float(rng.beta(2, 4)),
+                )
+                perm = self.sdk.api(int(api_id)).permission
+                if perm is not None:
+                    bp.permissions.add(perm)
+        for perm in payload.extra_permissions:
+            if rng.random() < 0.9:
+                bp.permissions.add(perm)
+        actions, prob = payload.receiver_intents
+        for action in actions:
+            if rng.random() < prob:
+                bp.receiver_filters.add(action)
+        actions, prob = payload.sent_intents
+        for action in actions:
+            if rng.random() < prob:
+                bp.sent_intents.add(action)
+        bp.malicious = True
+        bp.archetype = f"{payload_archetype}@{host_archetype}"
+        return bp.materialize(rng, submitted_day=day)
+
+    def sample_evasive(
+        self,
+        archetype: str,
+        day: int = 0,
+        force_probe: bool = False,
+        hide_signature: bool = False,
+    ) -> Apk:
+        """Sample one family app with its evasion knobs forced on.
+
+        ``force_probe`` guarantees the app performs emulator detection
+        (the §4.2 arms race: it goes quiet when a probe succeeds);
+        ``hide_signature`` moves every signature API the blueprint uses
+        behind reflection and marks it a dynamic loader, so only the
+        auxiliary P+I features can still see it (§4.5).  Like
+        repackaged clones, evasive samples stay out of the update
+        registry.
+        """
+        rng = self._rng
+        arch = self.catalog.get(archetype)
+        bp = self.sample_blueprint(archetype, rng)
+        if force_probe and not bp.probes and arch.probes:
+            k = min(2, len(arch.probes))
+            bp.probes = tuple(arch.probes[:k])
+        if hide_signature:
+            # Reflection leaves the guarding permission in the manifest
+            # (added by sample_blueprint before this point), which is
+            # the auxiliary trace the A+P+I design relies on.
+            for api_id in self.catalog.signature_of(archetype):
+                if int(api_id) in bp.direct_calls:
+                    bp.hide_behind_reflection(int(api_id))
+            bp.dynamic_loading = True
+        return bp.materialize(rng, submitted_day=day)
+
     def generate(
         self,
         n_apps: int,

@@ -25,6 +25,30 @@ from repro.android.sdk import AndroidSdk
 from repro.corpus.generator import AppCorpus, CorpusGenerator, PAPER_MALWARE_RATE
 
 
+def poison_labels(
+    labels: np.ndarray,
+    flip_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Adversarially corrupt a share of review labels.
+
+    The triage feedback loop assumes market labels are (near) ground
+    truth; a poisoning campaign — colluding developers disputing
+    takedowns, or a compromised review channel — breaks that assumption.
+    Returns a copy of ``labels`` with approximately ``flip_rate`` of the
+    entries inverted (each flipped independently), which the
+    ``label_noise`` scenario feeds into retraining to measure how the
+    evolution loop degrades.
+    """
+    if not 0.0 <= flip_rate <= 1.0:
+        raise ValueError("flip_rate must be in [0, 1]")
+    poisoned = np.asarray(labels, dtype=bool).copy()
+    if flip_rate > 0.0 and poisoned.size:
+        flip = rng.random(poisoned.size) < flip_rate
+        poisoned[flip] = ~poisoned[flip]
+    return poisoned
+
+
 @dataclass
 class AntivirusEngine:
     """One fingerprint-based antivirus engine.

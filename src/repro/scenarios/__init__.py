@@ -1,0 +1,36 @@
+"""Adversarial campaign simulation over the online serving tier.
+
+``repro.scenarios`` turns the repo's corpus generator and serving stack
+into a red-team harness: declarative, seeded :class:`Campaign` specs
+describe multi-day attack timelines (repackaging waves, evasion arms
+races, hidden loaders, label poisoning, admission floods), and
+:class:`CampaignRunner` replays them through the real
+:class:`~repro.serve.service.OnlineVettingService` or multi-shard
+:class:`~repro.serve.shard.ShardRouter`, producing a structured
+:class:`CampaignReport` of per-day precision/recall, latency
+percentiles, backpressure counts, rules-explanation coverage, and
+model-evolution decisions.
+"""
+
+from repro.scenarios.campaign import (
+    AttackWave,
+    Campaign,
+    bundled_campaigns,
+    campaign_by_name,
+)
+from repro.scenarios.report import CampaignReport, DayReport
+from repro.scenarios.runner import CampaignRunner, run_campaign
+from repro.scenarios.traffic import PlannedSubmission, plan_traffic
+
+__all__ = [
+    "AttackWave",
+    "Campaign",
+    "CampaignReport",
+    "CampaignRunner",
+    "DayReport",
+    "PlannedSubmission",
+    "bundled_campaigns",
+    "campaign_by_name",
+    "plan_traffic",
+    "run_campaign",
+]

@@ -1,0 +1,364 @@
+"""Declarative adversarial campaign specs.
+
+A :class:`Campaign` is a named, seeded, JSON-serializable description
+of the market under attack: a multi-day timeline of baseline traffic
+perturbed by one or more :class:`AttackWave` s.  The spec carries *no*
+behaviour — :mod:`repro.scenarios.traffic` turns it into a
+deterministic submission schedule and
+:class:`~repro.scenarios.runner.CampaignRunner` replays that schedule
+through the real online serving tier.
+
+Five campaigns ship bundled (:func:`bundled_campaigns`), one per attack
+class the paper's operational experience calls out:
+
+* ``repackaging_wave`` — one malware payload grafted into many cloned
+  benign apps, flooding submissions far above steady-state;
+* ``evasion_arms_race`` — probe-forced evasive families, meant to be
+  replayed with emulator hardening on vs. off (§4.2);
+* ``hidden_loader`` — reflection/dynamic-loading families whose API
+  behaviour is invisible to hooks, detectable only via the auxiliary
+  P+I features (§4.5);
+* ``label_noise`` — poisoned triage feedback corrupting the retraining
+  loop;
+* ``burst_flood`` — a pure volume attack against admission control,
+  with an escalated trickle that must not starve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AttackWave",
+    "Campaign",
+    "bundled_campaigns",
+    "campaign_by_name",
+]
+
+#: Wave kinds: how the wave's apps are sampled.
+WAVE_KINDS = ("repackaged", "family", "mixed")
+
+
+@dataclass(frozen=True)
+class AttackWave:
+    """One coordinated attack riding the campaign timeline.
+
+    Attributes:
+        name: wave identifier (campaign reports group recall by it).
+        kind: ``repackaged`` (payload grafted into cloned benign hosts),
+            ``family`` (straight family samples, optionally probe-forced
+            or reflection-hidden), or ``mixed`` (background-distribution
+            volume — a flood, not a family).
+        start_day / days: the half-open day window the wave is active.
+        per_day: submissions this wave adds on each active day.
+        payload / host: malware payload and benign host archetypes
+            (``repackaged`` only).
+        families: family archetypes cycled through (``family`` only).
+        lane: priority lane the wave submits on.
+        force_probes: every wave app performs emulator detection.
+        hide_payload: signature APIs move behind reflection + dynamic
+            loading (only the P+I auxiliary features still see them).
+    """
+
+    name: str
+    kind: str
+    per_day: int
+    start_day: int = 0
+    days: int = 1
+    payload: str | None = None
+    host: str | None = None
+    families: tuple[str, ...] = ()
+    lane: str = "bulk"
+    force_probes: bool = False
+    hide_payload: bool = False
+
+    def __post_init__(self):
+        if self.kind not in WAVE_KINDS:
+            raise ValueError(
+                f"unknown wave kind {self.kind!r}; expected one of "
+                f"{WAVE_KINDS}"
+            )
+        if self.per_day < 1:
+            raise ValueError("per_day must be >= 1")
+        if self.start_day < 0 or self.days < 1:
+            raise ValueError("wave window must satisfy start_day >= 0, days >= 1")
+        if self.kind == "repackaged" and not (self.payload and self.host):
+            raise ValueError("repackaged waves need payload and host")
+        if self.kind == "family" and not self.families:
+            raise ValueError("family waves need at least one family")
+
+    def active_on(self, day: int) -> bool:
+        return self.start_day <= day < self.start_day + self.days
+
+    def to_dict(self) -> dict:
+        raw = dataclasses.asdict(self)
+        raw["families"] = list(self.families)
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AttackWave":
+        raw = dict(raw)
+        raw["families"] = tuple(raw.get("families", ()))
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, seeded, serializable adversarial campaign.
+
+    Attributes:
+        name / description: identity and intent.
+        seed: drives *all* sampling — two runs of the same campaign
+            spec produce byte-identical submission schedules, which is
+            what makes cross-shard-count verdict determinism testable.
+        days: timeline length.
+        baseline_per_day: organic submissions per day (the market's
+            steady state the attack is super-imposed on).
+        malware_rate: malice rate of the baseline traffic.
+        update_fraction: share of baseline draws that are updates.
+        waves: the attack itself.
+        label_flip_rate: share of triage feedback labels adversarially
+            inverted before retraining (the poisoning knob).
+        hardened: run the serving model's emulators hardened (True,
+            production) or stock (False, the §4.2 ablation arm).
+        retrain_day: when set, triage feedback on everything served
+            through this day is gathered at the day boundary, a
+            candidate model is retrained and gated, and — on promotion
+            — rolled out to the serving tier before the next day.
+        max_depth: admission bound the runner should configure
+            (``None`` keeps the service default); flood campaigns set
+            it low enough to force 429s.
+    """
+
+    name: str
+    description: str
+    seed: int
+    days: int
+    baseline_per_day: int
+    waves: tuple[AttackWave, ...] = ()
+    malware_rate: float = 0.05
+    update_fraction: float = 0.5
+    label_flip_rate: float = 0.0
+    hardened: bool = True
+    retrain_day: int | None = None
+    max_depth: int | None = None
+
+    def __post_init__(self):
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+        if self.baseline_per_day < 0:
+            raise ValueError("baseline_per_day must be >= 0")
+        for rate in (self.malware_rate, self.update_fraction,
+                     self.label_flip_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate out of [0, 1]: {rate}")
+        if self.retrain_day is not None and not (
+            0 <= self.retrain_day < self.days
+        ):
+            raise ValueError("retrain_day must fall within the timeline")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
+
+    # -- sizing --------------------------------------------------------
+
+    @property
+    def planned_submissions(self) -> int:
+        """Upper bound on scheduled submissions (before md5 coalescing)."""
+        total = self.days * self.baseline_per_day
+        for wave in self.waves:
+            active = sum(
+                1 for day in range(self.days) if wave.active_on(day)
+            )
+            total += active * wave.per_day
+        return total
+
+    def scaled(self, factor: float) -> "Campaign":
+        """The same campaign with per-day volumes scaled by ``factor``.
+
+        Keeps every active wave at >= 1 submission/day so a scaled-down
+        smoke run still exercises the attack.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        waves = tuple(
+            dataclasses.replace(
+                wave, per_day=max(1, int(round(wave.per_day * factor)))
+            )
+            for wave in self.waves
+        )
+        return dataclasses.replace(
+            self,
+            baseline_per_day=max(1, int(round(self.baseline_per_day * factor))),
+            waves=waves,
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        raw = dataclasses.asdict(self)
+        raw["waves"] = [wave.to_dict() for wave in self.waves]
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Campaign":
+        raw = dict(raw)
+        raw["waves"] = tuple(
+            AttackWave.from_dict(w) for w in raw.get("waves", ())
+        )
+        return cls(**raw)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Bundled campaigns
+# ----------------------------------------------------------------------
+
+
+def bundled_campaigns() -> dict[str, Campaign]:
+    """The five named campaigns shipped with the simulator."""
+    campaigns = (
+        Campaign(
+            name="repackaging_wave",
+            description=(
+                "One sms_fraud payload grafted into a flood of cloned "
+                "benign game apps, 2x the market's steady state; triage "
+                "feedback lands after day 0 and retrains the model."
+            ),
+            seed=1101,
+            days=3,
+            baseline_per_day=8,
+            malware_rate=0.05,
+            retrain_day=0,
+            waves=(
+                AttackWave(
+                    name="repackage",
+                    kind="repackaged",
+                    per_day=16,
+                    start_day=0,
+                    days=3,
+                    payload="sms_fraud",
+                    host="game",
+                ),
+            ),
+        ),
+        Campaign(
+            name="evasion_arms_race",
+            description=(
+                "Probe-forced evasive families (botnet, ransomware, "
+                "update_attack): every wave app performs emulator "
+                "detection and goes quiet when a probe succeeds.  Replay "
+                "with hardened=False for the stock-emulator arm."
+            ),
+            seed=1102,
+            days=2,
+            baseline_per_day=6,
+            malware_rate=0.05,
+            waves=(
+                AttackWave(
+                    name="evasive",
+                    kind="family",
+                    per_day=10,
+                    start_day=0,
+                    days=2,
+                    families=("botnet", "ransomware", "update_attack"),
+                    force_probes=True,
+                ),
+            ),
+        ),
+        Campaign(
+            name="hidden_loader",
+            description=(
+                "Reflection/dynamic-loading families (update_attack, "
+                "lowkey_spy) with every signature API hidden from the "
+                "hooks — only the auxiliary P+I features still see them."
+            ),
+            seed=1103,
+            days=2,
+            baseline_per_day=6,
+            malware_rate=0.05,
+            waves=(
+                AttackWave(
+                    name="hidden",
+                    kind="family",
+                    per_day=8,
+                    start_day=0,
+                    days=2,
+                    families=("update_attack", "lowkey_spy"),
+                    hide_payload=True,
+                ),
+            ),
+        ),
+        Campaign(
+            name="label_noise",
+            description=(
+                "Poisoned triage feedback: 35% of the labels fed back "
+                "into day-1 retraining are inverted, corrupting the "
+                "evolution loop's candidate gate."
+            ),
+            seed=1104,
+            days=3,
+            baseline_per_day=8,
+            malware_rate=0.15,
+            label_flip_rate=0.35,
+            retrain_day=1,
+            waves=(
+                AttackWave(
+                    name="noise_cover",
+                    kind="family",
+                    per_day=6,
+                    start_day=0,
+                    days=3,
+                    families=("sms_fraud", "privacy_stealer"),
+                ),
+            ),
+        ),
+        Campaign(
+            name="burst_flood",
+            description=(
+                "Pure volume: a one-day bulk burst far past the "
+                "admission bound (max_depth=16 forces 429 backpressure) "
+                "with an escalated trickle that must not starve."
+            ),
+            seed=1105,
+            days=1,
+            baseline_per_day=4,
+            malware_rate=0.10,
+            max_depth=16,
+            waves=(
+                AttackWave(
+                    name="flood",
+                    kind="mixed",
+                    per_day=64,
+                    start_day=0,
+                    days=1,
+                ),
+                AttackWave(
+                    name="urgent",
+                    kind="mixed",
+                    per_day=4,
+                    start_day=0,
+                    days=1,
+                    lane="escalated",
+                ),
+            ),
+        ),
+    )
+    return {c.name: c for c in campaigns}
+
+
+def campaign_by_name(name: str) -> Campaign:
+    campaigns = bundled_campaigns()
+    try:
+        return campaigns[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; bundled: {sorted(campaigns)}"
+        ) from None

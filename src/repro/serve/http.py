@@ -53,6 +53,8 @@ from repro.serve.service import OnlineVettingService
 __all__ = [
     "API_PREFIX",
     "ERROR_CODES",
+    "RETRY_AFTER_QUEUE_FULL",
+    "RETRY_AFTER_SHARD_UNAVAILABLE",
     "ROUTES",
     "Response",
     "Route",
@@ -60,6 +62,7 @@ __all__ = [
     "VettingHTTPServer",
     "error_body",
     "make_server",
+    "retry_after_headers",
 ]
 
 #: Version prefix of the current wire contract.
@@ -79,6 +82,23 @@ ERROR_CODES = frozenset(
         "shard_unavailable",  # 503: owning shard down/unreachable
     }
 )
+
+
+#: Backoff guidance (seconds) carried on throttling/outage responses.
+#: 429 ``queue_full`` clears within a micro-batch or two; a 503
+#: ``shard_unavailable`` usually means a worker restart is in progress,
+#: so clients should back off a little longer.
+RETRY_AFTER_QUEUE_FULL = "1"
+RETRY_AFTER_SHARD_UNAVAILABLE = "2"
+
+
+def retry_after_headers(status: int) -> tuple[tuple[str, str], ...]:
+    """The ``Retry-After`` header for a retryable status (else empty)."""
+    if status == 429:
+        return (("Retry-After", RETRY_AFTER_QUEUE_FULL),)
+    if status == 503:
+        return (("Retry-After", RETRY_AFTER_SHARD_UNAVAILABLE),)
+    return ()
 
 
 def error_body(code: str, message: str, md5: str | None = None) -> dict:
@@ -189,7 +209,9 @@ class ServiceApi:
             ticket = self.service.submit(apk, lane)
         except QueueFullError as exc:
             return Response(
-                429, payload=error_body("queue_full", str(exc), apk.md5)
+                429,
+                payload=error_body("queue_full", str(exc), apk.md5),
+                headers=retry_after_headers(429),
             )
         except WrongShardError as exc:
             return Response(

@@ -450,7 +450,15 @@ class SubmissionQueue:
             return "pending"
 
     def _update_depth_gauge(self) -> None:
+        # The unlabelled series is the total (pending + in flight); the
+        # lane-labelled series expose per-lane *pending* backlogs so
+        # dashboards can show escalated-lane headroom during a bulk
+        # flood (in-flight entries have left their lane already).
         self.registry.set_gauge("serve_queue_depth", self.depth_locked())
+        for lane, entries in self._lanes.items():
+            self.registry.set_gauge(
+                "serve_queue_depth", len(entries), lane=lane_name(lane)
+            )
 
     def close(self) -> None:
         """Stop accepting, wake blocked consumers, close the WAL."""

@@ -45,6 +45,7 @@ from repro.serve.http import (
     error_body,
     make_server,
     parse_submission,
+    retry_after_headers,
 )
 from repro.serve.queue import QueueFullError, shard_of
 
@@ -651,10 +652,15 @@ class RouterApi:
             return Response(
                 503,
                 payload=error_body("shard_unavailable", str(exc), md5),
+                headers=retry_after_headers(503),
             )
+        # Shard responses pass through as raw text, which drops the
+        # shard's own headers — re-derive backoff guidance from the
+        # status so a proxied 429/503 still tells clients when to retry.
         return Response(
             status, text=data.decode("utf-8"),
             content_type="application/json",
+            headers=retry_after_headers(status),
         )
 
     def result(self, md5: str) -> Response:
@@ -681,10 +687,12 @@ class RouterApi:
                 payload=error_body(
                     "shard_unavailable", str(exc), apk.md5
                 ),
+                headers=retry_after_headers(503),
             )
         return Response(
             status, text=data.decode("utf-8"),
             content_type="application/json",
+            headers=retry_after_headers(status),
         )
 
 

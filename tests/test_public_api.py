@@ -21,7 +21,11 @@ PUBLIC_API = frozenset(
         "Apk",
         "AppCorpus",
         "AppObservation",
+        "AttackWave",
         "BehaviorReport",
+        "Campaign",
+        "CampaignReport",
+        "CampaignRunner",
         "CorpusGenerator",
         "DynamicAnalysisEngine",
         "ERROR_CODES",
@@ -54,11 +58,15 @@ PUBLIC_API = frozenset(
         "VettingService",
         "WrongShardError",
         "builtin_ruleset",
+        "bundled_campaigns",
+        "campaign_by_name",
         "default_registry",
         "lint_ruleset",
         "load_ruleset",
         "make_router_server",
         "make_server",
+        "poison_labels",
+        "run_campaign",
         "select_key_apis",
         "shard_of",
         "span",

@@ -246,6 +246,58 @@ def test_queue_full_is_429(tmp_path, fitted_checker, generator):
         service.close()
 
 
+def test_queue_full_429_carries_retry_after(
+    tmp_path, fitted_checker, generator
+):
+    """Backpressure responses tell clients when to come back."""
+    from repro.serve.http import RETRY_AFTER_QUEUE_FULL
+
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(fitted_checker, activate=True)
+    # Not started: submissions pile up against max_depth=1.
+    service = OnlineVettingService(models, max_depth=1)
+    server = make_server(service).start_background()
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        body = json.dumps(apk_to_dict(generator.sample_app())).encode()
+        response, _ = _raw(base, "POST", "/v1/submit", body)
+        assert response.status == 202
+        assert response.getheader("Retry-After") is None
+        body = json.dumps(apk_to_dict(generator.sample_app())).encode()
+        response, err = _raw(base, "POST", "/v1/submit", body)
+        assert response.status == 429
+        assert err["error"]["code"] == "queue_full"
+        assert response.getheader("Retry-After") == RETRY_AFTER_QUEUE_FULL
+    finally:
+        server.stop()
+        service.close()
+
+
+def test_shard_unavailable_503_carries_retry_after(generator):
+    """The router front door marks dead-shard 503s retryable too."""
+    from repro.serve.http import RETRY_AFTER_SHARD_UNAVAILABLE
+    from repro.serve.shard import RouterApi, ShardUnavailableError
+
+    class DeadFleet:
+        """Duck-typed router whose every shard is down."""
+
+        def owner_of(self, md5):
+            return 0
+
+        def proxy(self, shard_id, method, path, body=None, md5=None):
+            raise ShardUnavailableError(shard_id, "worker dead", md5)
+
+    api = RouterApi(DeadFleet())
+    apk = generator.sample_app()
+    body = json.dumps({"apk": apk_to_dict(apk), "lane": "bulk"}).encode()
+    for response in (api.submit(body), api.result(apk.md5)):
+        assert response.status == 503
+        assert dict(response.headers)["Retry-After"] == (
+            RETRY_AFTER_SHARD_UNAVAILABLE
+        )
+        assert response.payload["error"]["code"] == "shard_unavailable"
+
+
 def test_metrics_exposition(served, generator):
     service, base = served
     service.submit(generator.sample_app())

@@ -134,6 +134,31 @@ def test_depth_gauge_tracks_queue(apps):
         assert registry.value("serve_queue_depth") == 1
 
 
+def test_per_lane_depth_gauges(apps):
+    """Lane-labelled gauges expose per-lane pending backlogs.
+
+    The unlabelled series stays the total (pending + in flight); the
+    labelled ones count each lane's *pending* entries, so a dashboard
+    can see escalated-lane headroom during a bulk flood.
+    """
+    registry = MetricsRegistry()
+    with SubmissionQueue(registry=registry) as q:
+        q.submit(apps[0], "bulk")
+        q.submit(apps[1], "bulk")
+        q.submit(apps[2], "escalated")
+        q.submit(apps[3], "resubmit")
+        assert registry.value("serve_queue_depth") == 4
+        assert registry.value("serve_queue_depth", lane="bulk") == 2
+        assert registry.value("serve_queue_depth", lane="escalated") == 1
+        assert registry.value("serve_queue_depth", lane="resubmit") == 1
+        entry = q.take(timeout=0)  # pops the escalated entry
+        assert registry.value("serve_queue_depth") == 4  # still in flight
+        assert registry.value("serve_queue_depth", lane="escalated") == 0
+        q.mark_done(entry, {"status": "done"})
+        assert registry.value("serve_queue_depth") == 3
+        assert registry.value("serve_queue_depth", lane="bulk") == 2
+
+
 def test_wal_replay_restores_uncompleted_entries(tmp_path, apps):
     spool = tmp_path / "spool"
     q = SubmissionQueue(spool)

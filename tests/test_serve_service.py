@@ -95,6 +95,41 @@ def test_priority_lane_is_dispatched_first(models, generator):
         service.close()
 
 
+def test_escalated_lane_never_starves_under_bulk_flood(models, generator):
+    """A sustained bulk flood must not delay an escalated submission
+    beyond the micro-batch already in flight.
+
+    The queue pops escalated entries first, so once the escalated app
+    is accepted, only the batch the dispatcher has already taken plus
+    the one it joins can complete before it — at most 2 * batch_size
+    bulk outcomes between its acceptance and its verdict.
+    """
+    bulk = [generator.sample_app() for _ in range(28)]
+    urgent = generator.sample_app(malicious=True)
+    with _service(models, batch_size=4) as service:
+        for apk in bulk:
+            service.submit(apk, "bulk")
+        done_at_submit = len(service.results)
+        service.submit(urgent, "escalated")
+        deadline = time.monotonic() + 120.0
+        while (
+            urgent.md5 not in service.results
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert urgent.md5 in service.results, "escalated submission starved"
+        # results preserve completion order: everything between the
+        # acceptance-time snapshot and the escalated outcome completed
+        # while the escalated app waited.
+        position = list(service.results).index(urgent.md5)
+        waited_behind = position - done_at_submit
+        assert waited_behind <= 2 * service.batch_size, (
+            f"escalated verdict waited behind {waited_behind} bulk "
+            f"outcomes (batch_size={service.batch_size})"
+        )
+        assert service.drain(120.0)
+
+
 def test_admission_rejects_surface_as_queue_full(models, generator):
     service = _service(models, max_depth=2)
     service.submit(generator.sample_app())
