@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Rule-mining smoke: push a mined ruleset through a live 2-shard router.
+
+The CI rules-mining job runs this after ``repro rules mine`` and
+``repro rules lint``:
+
+1. load the mined artifact (``sys.argv[1]``) and verify it is a
+   well-formed generated ruleset with mined coverage for the stock
+   ``lowkey_spy`` blind spot,
+2. rebuild the exact world the CLI mined against (``--apis 800
+   --train 250``, default seed 7) so every rule's API names resolve,
+   train the bootstrap model and publish it to a model registry,
+3. boot a 2-shard router, submit traffic through the ``/v1`` front
+   door under the builtin ruleset (v0),
+4. POST the mined artifact to ``/v1/admin/ruleset`` mid-traffic and
+   let the router roll it across both shards,
+5. submit more traffic and poll everything to a terminal outcome:
+   nothing lost, every shard's healthz reports the pushed version,
+   every explanation is version-consistent (``mined_*`` hits only
+   under the pushed version), and mined rules fire live.
+
+The lowkey_spy closure itself is checked off-line in step 2 with the
+rebuilt world's evaluator: the service only explains apps the model
+flags, and lowkey_spy is exactly the family the model can miss — the
+bench gate (``benchmarks/bench_rules_mining.py``) holds the recall
+floor; the smoke proves the artifact's rules resolve and fire.
+
+Exit code 0 means the operator loop (mine -> lint -> push -> roll)
+works end to end; any assertion or timeout is a build failure.
+
+Run:  python examples/rules_mining_smoke.py /tmp/mined_rules.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro import (
+    AndroidSdk,
+    ApiChecker,
+    CorpusGenerator,
+    ModelRegistry,
+    RuleEvaluator,
+    SdkSpec,
+    ShardRouter,
+    builtin_ruleset,
+    load_generated_ruleset,
+    make_router_server,
+)
+from repro.serve.codec import apk_to_dict
+
+#: Mirrors the CLI's ``rules mine`` world (--apis 800 --train 250,
+#: default --seed 7): _build_and_fit uses seed, seed+1, seed+2.
+N_APIS = 800
+N_TRAIN = 250
+SEED = 7
+
+N_PRE_PUSH = 6
+N_POST_PUSH = 10
+N_SPY = 20
+POLL_TIMEOUT = 120.0
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=15.0) as resp:
+        return resp.status, resp.read()
+
+
+def _post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=15.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post_bytes(url: str, body: bytes):
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _metric(text: str, name: str) -> float:
+    """Sum a counter/gauge across label sets in Prometheus exposition."""
+    total = 0.0
+    seen = False
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head = line.split(" ")[0]
+            if head == name or head.startswith(name + "{"):
+                total += float(line.rsplit(" ", 1)[1])
+                seen = True
+    assert seen, f"metric {name} missing from /v1/metrics"
+    return total
+
+
+def _poll_all(base: str, md5s, deadline_s: float = POLL_TIMEOUT):
+    deadline = time.monotonic() + deadline_s
+    outcomes: dict[str, dict] = {}
+    while len(outcomes) < len(md5s):
+        assert time.monotonic() < deadline, "timed out waiting for results"
+        for md5 in md5s:
+            if md5 in outcomes:
+                continue
+            try:
+                status, body = _get(f"{base}/v1/result/{md5}")
+            except urllib.error.HTTPError as err:  # 404 must not happen
+                raise AssertionError(
+                    f"result/{md5} -> HTTP {err.code}"
+                ) from err
+            if status == 200:
+                outcomes[md5] = json.loads(body)
+        time.sleep(0.05)
+    return outcomes
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(
+            "usage: rules_mining_smoke.py <mined_rules.json>",
+            file=sys.stderr,
+        )
+        return 2
+    artifact_path = Path(sys.argv[1])
+    artifact = artifact_path.read_bytes()
+
+    print("== 1. Validate the mined artifact ==")
+    mined = load_generated_ruleset(artifact)
+    mined_specs = mined.specs
+    mined_only = [
+        s for s in mined_specs if s.behavior.startswith("mined_")
+    ]
+    assert mined_only, "artifact carries no mined rules"
+    spy_rules = [s for s in mined_only if "lowkey_spy" in s.families]
+    assert spy_rules, "mined artifact does not cover lowkey_spy"
+    print(
+        f"{artifact_path}: {len(mined_specs)} rules "
+        f"({len(mined_only)} mined, {len(spy_rules)} for lowkey_spy)"
+    )
+
+    print("\n== 2. Rebuild the mining world and bootstrap a model ==")
+    sdk = AndroidSdk.generate(SdkSpec(n_apis=N_APIS, seed=SEED))
+    generator = CorpusGenerator(sdk, seed=SEED + 1)
+    checker = ApiChecker(sdk, seed=SEED + 2).fit(
+        generator.generate(N_TRAIN)
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="rules-mining-smoke-"))
+    models = ModelRegistry(workdir / "models")
+    model_version = models.publish(
+        checker, metadata={"source": "mining-smoke"}, activate=True
+    ).version
+    print(f"published and activated model v{model_version}")
+
+    # Off-line blind-spot check: the artifact's rules must resolve in
+    # this SDK and fire on fresh lowkey_spy apps where the stock
+    # bundle stays silent.
+    spy_gen = CorpusGenerator(sdk, seed=SEED + 50)
+    spy_obs = checker.production_engine.observations(
+        [spy_gen.sample_app(archetype="lowkey_spy") for _ in range(N_SPY)]
+    )
+
+    def _spy_recall(specs) -> float:
+        evaluator = RuleEvaluator.from_specs(
+            specs, sdk, tracked_api_ids=checker.key_api_ids
+        )
+        fam_of = {s.behavior: s.families for s in specs}
+        fired = sum(
+            1
+            for report in evaluator.evaluate(spy_obs)
+            if any(
+                "lowkey_spy" in fam_of[h.behavior] for h in report.hits
+            )
+        )
+        return fired / len(spy_obs)
+
+    stock_recall = _spy_recall(builtin_ruleset())
+    mined_recall = _spy_recall(mined_specs)
+    assert stock_recall == 0.0, (
+        f"stock bundle unexpectedly covers lowkey_spy ({stock_recall})"
+    )
+    assert mined_recall >= 0.5, (
+        f"mined lowkey_spy recall {mined_recall:.2f} below 0.5"
+    )
+    print(
+        f"lowkey_spy on {N_SPY} fresh apps: stock {stock_recall:.2f} "
+        f"-> mined {mined_recall:.2f} (blind spot closed)"
+    )
+
+    print("\n== 3. Boot a 2-shard router, traffic under builtin v0 ==")
+    router = ShardRouter(
+        workdir / "models",
+        workdir / "spool",
+        n_shards=2,
+        workers=1,
+        batch_size=4,
+    ).start()
+    front = make_router_server(router).start_background()
+    base = f"http://127.0.0.1:{front.port}"
+    status, body = _get(f"{base}/v1/healthz")
+    health = json.loads(body)
+    assert status == 200 and health["status"] == "ok"
+    assert [s["ruleset_version"] for s in health["shards"]] == [0, 0]
+    print(f"routing on {base}, both shards on builtin ruleset v0")
+
+    pre = []
+    for i in range(N_PRE_PUSH):
+        apk = generator.sample_app(malicious=(i % 2 == 0))
+        status, ticket = _post_json(
+            f"{base}/v1/submit", {"apk": apk_to_dict(apk)}
+        )
+        assert status == 202, f"submit returned {status}"
+        pre.append(ticket["md5"])
+
+    print("\n== 4. Push the mined ruleset mid-traffic ==")
+    status, receipt = _post_bytes(f"{base}/v1/admin/ruleset", artifact)
+    assert status == 200, f"admin push returned {status}"
+    pushed = receipt["ruleset_version"]
+    assert pushed >= 1 and receipt["n_rules"] == len(mined_specs)
+    assert set(receipt["shards"]) == {"0", "1"}
+    print(
+        f"rolled ruleset v{pushed} ({receipt['n_rules']} rules) "
+        f"across shards {sorted(receipt['shards'])}"
+    )
+
+    print("\n== 5. Post-push traffic, poll everything terminal ==")
+    post = []
+    for i in range(N_POST_PUSH):
+        apk = generator.sample_app(malicious=(i % 2 == 0))
+        status, ticket = _post_json(
+            f"{base}/v1/submit", {"apk": apk_to_dict(apk)}
+        )
+        assert status == 202, f"submit returned {status}"
+        post.append(ticket["md5"])
+
+    everything = pre + post
+    outcomes = _poll_all(base, everything)
+    assert all(o["status"] == "done" for o in outcomes.values())
+    print(f"all {len(outcomes)} terminal through the roll (zero lost)")
+
+    status, body = _get(f"{base}/v1/healthz")
+    health = json.loads(body)
+    assert [s["ruleset_version"] for s in health["shards"]] == [
+        pushed,
+        pushed,
+    ], health["shards"]
+
+    # Version consistency per explanation: mined_* behaviors may only
+    # appear in reports explained under the pushed version, and at
+    # least one mined rule must fire live post-roll.
+    mined_fired = False
+    for md5 in everything:
+        status, body = _get(f"{base}/v1/explain/{md5}")
+        assert status == 200
+        explained = json.loads(body)
+        version = explained["ruleset_version"]
+        assert version in (0, pushed), explained
+        if not explained["explanation"]:
+            continue
+        for hit in explained["explanation"]["hits"]:
+            if hit["behavior"].startswith("mined_"):
+                assert version == pushed, (
+                    f"mined hit under ruleset v{version}: {hit}"
+                )
+                mined_fired = True
+    assert mined_fired, "no mined rule fired on post-roll traffic"
+    print("explanations version-consistent; mined rules fire live")
+
+    status, body = _get(f"{base}/v1/metrics")
+    text = body.decode("utf-8")
+    assert _metric(text, "serve_router_ruleset_pushes_total") == 1
+    assert _metric(text, "ruleset_swap_total") == 2  # one per shard
+    print("scrape: 1 router push, 2 per-shard swaps")
+
+    front.stop()
+    abandoned = router.stop()
+    assert all(not md5s for md5s in abandoned.values()), abandoned
+    print("\nrules mining smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

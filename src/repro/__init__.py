@@ -46,12 +46,16 @@ from repro.obs import (
 )
 from repro.rules import (
     BehaviorReport,
+    MinedRuleset,
     RuleEvaluator,
     RuleHit,
     RuleSpec,
     builtin_ruleset,
+    diff_rulesets,
     lint_ruleset,
+    load_generated_ruleset,
     load_ruleset,
+    mine_ruleset,
 )
 from repro.scenarios import (
     AttackWave,
@@ -67,6 +71,7 @@ from repro.serve import (
     ModelRegistry,
     OnlineVettingService,
     QueueFullError,
+    RulesetRegistry,
     ShadowPromotionGate,
     ShardRouter,
     ShardUnavailableError,
@@ -77,7 +82,7 @@ from repro.serve import (
     shard_of,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AndroidSdk",
@@ -101,6 +106,7 @@ __all__ = [
     "KeyApiSelection",
     "MarketStream",
     "MetricsRegistry",
+    "MinedRuleset",
     "ModelRegistry",
     "ObservationCache",
     "OnlineVettingService",
@@ -110,6 +116,7 @@ __all__ = [
     "RuleEvaluator",
     "RuleHit",
     "RuleSpec",
+    "RulesetRegistry",
     "SdkSpec",
     "ShadowPromotionGate",
     "ShardRouter",
@@ -126,10 +133,13 @@ __all__ = [
     "bundled_campaigns",
     "campaign_by_name",
     "default_registry",
+    "diff_rulesets",
     "lint_ruleset",
+    "load_generated_ruleset",
     "load_ruleset",
     "make_router_server",
     "make_server",
+    "mine_ruleset",
     "poison_labels",
     "run_campaign",
     "select_key_apis",

@@ -23,6 +23,14 @@ Commands:
   ``docs/rules.md``.
 * ``rules lint`` — check a behavior ruleset (default: the bundled one)
   for authoring mistakes; exits 1 on errors.
+* ``rules mine`` — mine candidate rules from a family-balanced labeled
+  corpus (Apriori itemsets scored on a held-out split) and write the
+  generated ruleset artifact.  See ``docs/rule_mining.md``.
+* ``rules diff OLD NEW`` — print added/removed/changed rules between
+  two ruleset files.
+* ``rules push RULESET --url URL`` — hot-swap a ruleset into a running
+  serving tier (single service or shard router) over
+  ``POST /v1/admin/ruleset``.
 * ``scenarios list`` / ``scenarios run NAME`` — the adversarial
   campaign simulator: replay a bundled attack campaign (repackaging
   wave, evasion arms race, hidden loaders, label poisoning, admission
@@ -161,6 +169,54 @@ def build_parser() -> argparse.ArgumentParser:
                       help="synthetic SDK size used to resolve names "
                            "(default 1000)")
     lint.add_argument("--seed", type=int, default=7)
+
+    mine = rules_sub.add_parser(
+        "mine",
+        help="mine candidate rules from a labeled synthetic corpus "
+             "and write a generated ruleset artifact",
+    )
+    _add_common(mine)
+    mine.add_argument("--per-family", type=int, default=60,
+                      help="apps sampled per malware family for the "
+                           "mining corpus (default 60)")
+    mine.add_argument("--benign", type=int, default=700,
+                      help="benign apps in the mining corpus "
+                           "(default 700)")
+    mine.add_argument("--min-support", type=float, default=0.15,
+                      help="minimum within-family itemset support "
+                           "(default 0.15)")
+    mine.add_argument("--min-precision", type=float, default=0.7,
+                      help="minimum holdout precision to keep a rule "
+                           "(default 0.7)")
+    mine.add_argument("--min-lift", type=float, default=2.0,
+                      help="minimum holdout family lift to keep a rule "
+                           "(default 2.0)")
+    mine.add_argument("--max-rules-per-family", type=int, default=12,
+                      help="per-family rule budget (default 12)")
+    mine.add_argument("--mine-seed", type=int, default=0,
+                      help="mine/holdout split seed (default 0)")
+    mine.add_argument("--out", default="mined_rules.json",
+                      help="artifact path (default mined_rules.json)")
+
+    rdiff = rules_sub.add_parser(
+        "diff",
+        help="print added/removed/changed rules between two ruleset "
+             "files",
+    )
+    rdiff.add_argument("old", help="baseline ruleset JSON file")
+    rdiff.add_argument("new", help="candidate ruleset JSON file")
+
+    push = rules_sub.add_parser(
+        "push",
+        help="hot-swap a ruleset into a running serving tier "
+             "(POST /v1/admin/ruleset)",
+    )
+    push.add_argument("ruleset", help="JSON ruleset file to push")
+    push.add_argument("--url", required=True,
+                      help="base URL of the service or shard router, "
+                           "e.g. http://127.0.0.1:8300")
+    push.add_argument("--timeout", type=float, default=30.0,
+                      help="HTTP timeout in seconds (default 30)")
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -472,11 +528,16 @@ def cmd_explain(args) -> int:
 
 
 def cmd_rules(args) -> int:
+    if args.rules_command == "mine":
+        return _cmd_rules_mine(args)
+    if args.rules_command == "diff":
+        return _cmd_rules_diff(args)
+    if args.rules_command == "push":
+        return _cmd_rules_push(args)
+
     from repro import AndroidSdk, SdkSpec
     from repro.rules import builtin_ruleset, lint_ruleset, load_ruleset
 
-    if args.rules_command != "lint":  # pragma: no cover - argparse gate
-        return 2
     specs = (
         load_ruleset(args.ruleset) if args.ruleset else builtin_ruleset()
     )
@@ -491,6 +552,94 @@ def cmd_rules(args) -> int:
         f"{n_warnings} warning(s)"
     )
     return 1 if n_errors else 0
+
+
+def _cmd_rules_mine(args) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.rules import MiningError, mine_from_corpus
+
+    registry = MetricsRegistry()
+    sdk, generator, checker = _build_and_fit(args, registry)
+    corpus = generator.generate_family_balanced(
+        args.per_family, args.benign
+    )
+    try:
+        mined = mine_from_corpus(
+            checker,
+            corpus,
+            min_support=args.min_support,
+            min_precision=args.min_precision,
+            min_lift=args.min_lift,
+            max_rules_per_family=args.max_rules_per_family,
+            seed=args.mine_seed,
+            registry=registry,
+        )
+    except MiningError as exc:
+        print(f"mining failed: {exc}", file=sys.stderr)
+        return 1
+    path = mined.save(args.out)
+    print(
+        f"mined {len(mined.rules)} rule(s) over {len(mined.base)} "
+        f"base rule(s) from {mined.n_observations} observations"
+    )
+    for family in sorted(mined.families):
+        stats = mined.families[family]
+        print(f"  {family}: rows={stats['rows']} "
+              f"candidates={stats['candidates']} kept={stats['kept']} "
+              f"fire_coverage={stats['fire_coverage']:.2f}")
+    print(f"artifact: {path} (sha256 {mined.sha256[:16]}…)")
+    return 0
+
+
+def _cmd_rules_diff(args) -> int:
+    from pathlib import Path
+
+    from repro.rules import diff_rulesets, load_ruleset
+
+    for name in (args.old, args.new):
+        if not Path(name).is_file():
+            print(f"no such ruleset file: {name}", file=sys.stderr)
+            return 2
+    diff = diff_rulesets(load_ruleset(args.old), load_ruleset(args.new))
+    print(diff.format())
+    return 0
+
+
+def _cmd_rules_push(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    path = Path(args.ruleset)
+    if not path.is_file():
+        print(f"no such ruleset file: {args.ruleset}", file=sys.stderr)
+        return 2
+    url = args.url.rstrip("/") + "/v1/admin/ruleset"
+    request = Request(
+        url,
+        data=path.read_bytes(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urlopen(request, timeout=args.timeout) as response:
+            receipt = json_mod.loads(response.read())
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        print(f"push rejected ({exc.code}): {detail}", file=sys.stderr)
+        return 1
+    except (URLError, OSError) as exc:
+        print(f"push failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"ruleset v{receipt['ruleset_version']} live "
+          f"({receipt['n_rules']} rules)")
+    for shard_id, shard_receipt in sorted(
+        receipt.get("shards", {}).items()
+    ):
+        print(f"  shard {shard_id}: "
+              f"v{shard_receipt['ruleset_version']}")
+    return 0
 
 
 def cmd_scenarios(args) -> int:

@@ -496,3 +496,44 @@ class CorpusGenerator:
             )
         apps.sort(key=lambda a: a.submitted_day)
         return AppCorpus(self.sdk, apps)
+
+    def generate_family_balanced(
+        self,
+        per_family: int,
+        n_benign: int,
+        families: list[str] | tuple[str, ...] | None = None,
+    ) -> AppCorpus:
+        """Generate a family-balanced labelled corpus for rule mining.
+
+        A natural corpus (:meth:`generate`) draws families by their
+        market weight, which leaves rare families — ``lowkey_spy`` most
+        of all — with a handful of samples: too few for itemset support
+        estimates to beat noise.  Mining instead wants ``per_family``
+        samples of *every* malware family over a benign background of
+        ``n_benign`` apps.
+
+        Args:
+            per_family: malicious samples per family.
+            n_benign: benign background apps (market-weighted benign
+                archetypes).
+            families: malware family names to balance over (default:
+                every bundled malware archetype).
+        """
+        from repro.corpus.families import MALWARE_ARCHETYPES
+
+        if per_family <= 0 or n_benign <= 0:
+            raise ValueError("per_family and n_benign must be positive")
+        names = (
+            list(families)
+            if families is not None
+            else [a.name for a in MALWARE_ARCHETYPES]
+        )
+        apps = []
+        for name in names:
+            apps.extend(
+                self.sample_app(archetype=name) for _ in range(per_family)
+            )
+        apps.extend(
+            self.sample_app(malicious=False) for _ in range(n_benign)
+        )
+        return AppCorpus(self.sdk, apps)

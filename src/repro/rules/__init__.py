@@ -10,6 +10,12 @@ tracked hook set at load time; the vectorized :class:`RuleEvaluator`
 scores observation batches into staged, evidence-carrying
 :class:`BehaviorReport` objects.
 
+Rules are not only hand-written: :func:`mine_ruleset` mines candidate
+rules from labeled corpus observations (frequent A+P+I itemsets scored
+by held-out precision and family lift) and emits a deterministic
+generated-ruleset artifact the serving tier hot-swaps in — see
+``docs/rule_mining.md``.
+
 See ``docs/rules.md`` for the rule schema and the lint workflow.
 """
 
@@ -20,8 +26,17 @@ from repro.rules.compiler import (
     RuleCompileError,
     RuleCompiler,
 )
+from repro.rules.diff import RuleChange, RulesetDiff, diff_rulesets
 from repro.rules.evaluator import RuleEvaluator
 from repro.rules.lint import LintIssue, lint_ruleset
+from repro.rules.mining import (
+    MinedRule,
+    MinedRuleset,
+    MiningError,
+    load_generated_ruleset,
+    mine_from_corpus,
+    mine_ruleset,
+)
 from repro.rules.report import BehaviorReport, RuleHit
 from repro.rules.spec import (
     N_STAGES,
@@ -37,15 +52,24 @@ __all__ = [
     "CompiledRule",
     "CompiledRuleset",
     "LintIssue",
+    "MinedRule",
+    "MinedRuleset",
+    "MiningError",
     "N_STAGES",
+    "RuleChange",
     "RuleCompileError",
     "RuleCompiler",
     "RuleEvaluator",
     "RuleHit",
     "RuleSpec",
+    "RulesetDiff",
     "STAGE_CONFIDENCE",
     "STAGE_NAMES",
     "builtin_ruleset",
+    "diff_rulesets",
     "lint_ruleset",
+    "load_generated_ruleset",
     "load_ruleset",
+    "mine_from_corpus",
+    "mine_ruleset",
 ]

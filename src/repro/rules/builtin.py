@@ -9,9 +9,13 @@ each profile *both* overlay archetypes, because the corpus generates
 them with near-identical A+P+I footprints (both draw system-alert
 views on USER_PRESENT; they differ mainly in monetization) — claiming
 a clean one-to-one mapping there would be dishonest.  And
-``lowkey_spy`` is deliberately uncovered: it barely touches the key
-APIs (the paper's §5.2 false-negative analysis), so no A+P+I rule can
-name its behavior — that blind spot is the point.
+``lowkey_spy`` is uncovered by this stock bundle and closed by mined
+rules: it barely touches the key APIs (the paper's §5.2 false-negative
+analysis), so no hand-authored A+P+I rule here can name its behavior.
+The blind spot is preserved deliberately as the stock baseline for the
+hardened-vs-stock comparison — ``repro.rules.mining.mine_ruleset``
+learns the missing family coverage from a labeled corpus (see
+``docs/rule_mining.md``).
 
 Kept as JSON text (not Python literals) so ``repro rules lint`` and the
 docs exercise the exact wire format users author.

@@ -1,0 +1,116 @@
+"""Structural diff between two rulesets.
+
+``repro rules diff a.json b.json`` prints which behaviors were added,
+removed, or changed between two ruleset files — the review step before
+pushing a freshly mined artifact over the currently deployed set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.rules.spec import RuleSpec
+
+__all__ = ["RuleChange", "RulesetDiff", "diff_rulesets"]
+
+#: Spec fields compared for change detection, in display order.
+_FIELDS = ("apis", "permissions", "intents", "families", "weight",
+           "description")
+
+
+@dataclass(frozen=True)
+class RuleChange:
+    """One behavior present in both rulesets with differing fields.
+
+    ``fields`` maps field name to an ``(old, new)`` pair.
+    """
+
+    behavior: str
+    fields: tuple[tuple[str, tuple[object, object]], ...]
+
+    def format(self) -> str:
+        lines = [f"~ {self.behavior}"]
+        for name, (old, new) in self.fields:
+            if isinstance(old, tuple) and isinstance(new, tuple):
+                added = sorted(set(new) - set(old))
+                removed = sorted(set(old) - set(new))
+                parts = [f"+{v}" for v in added] + [f"-{v}" for v in removed]
+                if not parts:  # same members, different order
+                    parts = [f"{old!r} -> {new!r}"]
+                lines.append(f"    {name}: " + " ".join(parts))
+            else:
+                lines.append(f"    {name}: {old!r} -> {new!r}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RulesetDiff:
+    """Added/removed/changed behaviors between an old and a new ruleset."""
+
+    added: tuple[RuleSpec, ...]
+    removed: tuple[RuleSpec, ...]
+    changed: tuple[RuleChange, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def format(self) -> str:
+        """Human-readable summary, one block per rule."""
+        if self.is_empty:
+            return "rulesets are identical"
+        lines = [
+            f"{len(self.added)} added, {len(self.removed)} removed, "
+            f"{len(self.changed)} changed"
+        ]
+        for spec in self.added:
+            lines.append(f"+ {spec.behavior}  ({_evidence_summary(spec)})")
+        for spec in self.removed:
+            lines.append(f"- {spec.behavior}  ({_evidence_summary(spec)})")
+        for change in self.changed:
+            lines.append(change.format())
+        return "\n".join(lines)
+
+
+def _evidence_summary(spec: RuleSpec) -> str:
+    return (
+        f"{len(spec.apis)} apis, {len(spec.permissions)} permissions, "
+        f"{len(spec.intents)} intents"
+    )
+
+
+def diff_rulesets(
+    old: Iterable[RuleSpec] | Sequence[RuleSpec],
+    new: Iterable[RuleSpec] | Sequence[RuleSpec],
+) -> RulesetDiff:
+    """Compare two rulesets by behavior name.
+
+    A behavior present in both with any differing field (evidence
+    lists compared as sets, weight/description exactly) is reported as
+    changed; otherwise it is added or removed.  Output order follows
+    the new ruleset for additions/changes and the old one for
+    removals, so diffs are deterministic.
+    """
+    old_by = {s.behavior: s for s in old}
+    new_by = {s.behavior: s for s in new}
+    added = tuple(s for b, s in new_by.items() if b not in old_by)
+    removed = tuple(s for b, s in old_by.items() if b not in new_by)
+    changed = []
+    for behavior, new_spec in new_by.items():
+        old_spec = old_by.get(behavior)
+        if old_spec is None or old_spec == new_spec:
+            continue
+        fields = []
+        for name in _FIELDS:
+            old_val = getattr(old_spec, name)
+            new_val = getattr(new_spec, name)
+            if isinstance(old_val, tuple):
+                differs = set(old_val) != set(new_val)
+            else:
+                differs = old_val != new_val
+            if differs:
+                fields.append((name, (old_val, new_val)))
+        if fields:
+            changed.append(RuleChange(behavior, tuple(fields)))
+    return RulesetDiff(added=added, removed=removed, changed=tuple(changed))

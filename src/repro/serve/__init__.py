@@ -10,6 +10,10 @@ monthly without downtime (§6).  This package is that serving layer:
 * :class:`ModelRegistry` — versioned, hash-verified model artifacts
   with RW-locked hot-swap and shadow scoring of candidates against
   live traffic.
+* :class:`RulesetRegistry` — the same treatment for behavior
+  rulesets: versioned hash-verified JSON artifacts, atomic hot swap
+  under the RW lock, pushed over ``POST /v1/admin/ruleset`` and rolled
+  across every shard without dropping a request.
 * :class:`ShadowPromotionGate` — turns
   :meth:`~repro.core.evolution.EvolutionLoop.run_month` retrains into
   promote-on-threshold decisions.
@@ -57,6 +61,11 @@ from repro.serve.registry import (
     RWLock,
     ScoredSubmission,
 )
+from repro.serve.rulesets import (
+    BUILTIN_RULESET_VERSION,
+    RulesetRegistry,
+    RulesetVersion,
+)
 from repro.serve.service import DrainStatus, OnlineVettingService
 from repro.serve.shard import (
     ShardRouter,
@@ -66,6 +75,7 @@ from repro.serve.shard import (
 
 __all__ = [
     "API_PREFIX",
+    "BUILTIN_RULESET_VERSION",
     "ERROR_CODES",
     "LANE_BULK",
     "LANE_ESCALATED",
@@ -80,6 +90,8 @@ __all__ = [
     "PromotionDecision",
     "QueueFullError",
     "RWLock",
+    "RulesetRegistry",
+    "RulesetVersion",
     "ScoredSubmission",
     "ShadowPromotionGate",
     "ShardRouter",

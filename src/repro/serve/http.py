@@ -25,6 +25,11 @@ it:
   :class:`~repro.obs.MetricsRegistry`.
 * ``GET /v1/metrics.json`` — the same registry as a JSON snapshot
   (what the shard router scrapes to build its aggregated exposition).
+* ``POST /v1/admin/ruleset`` — body: a ruleset JSON document
+  (hand-written or mined).  ``200`` with the new ``ruleset_version``
+  once the swap is atomically live (the shard router rolls the push
+  across every worker); ``400`` when parse/lint/compile validation
+  rejects it; ``503`` when a shard cannot be reached.
 
 **Error envelope.**  Every error body is one JSON shape, shared by the
 router and every shard worker::
@@ -157,6 +162,7 @@ ROUTES: tuple[Route, ...] = (
     _route("GET", rf"^/v1/result/{_MD5}$", "result"),
     _route("GET", rf"^/v1/explain/{_MD5}$", "explain"),
     _route("POST", r"^/v1/submit$", "submit"),
+    _route("POST", r"^/v1/admin/ruleset$", "ruleset_push"),
 )
 
 
@@ -218,6 +224,22 @@ class ServiceApi:
                 409, payload=error_body("wrong_shard", str(exc), exc.md5)
             )
         return Response(202, payload=ticket)
+
+    def ruleset_push(self, body: bytes) -> Response:
+        """``POST /v1/admin/ruleset``: validate + hot-swap a ruleset.
+
+        Body is a ruleset JSON document (hand-written or a mined
+        artifact).  ``200`` with ``{ruleset_version, n_rules, sha256}``
+        once the swap is live; ``400`` when parsing, linting, or
+        compilation against the active model rejects it.
+        """
+        try:
+            receipt = self.service.push_ruleset(body)
+        except ValueError as exc:
+            return Response(
+                400, payload=error_body("bad_request", str(exc))
+            )
+        return Response(200, payload=receipt)
 
 
 def parse_submission(body: bytes):

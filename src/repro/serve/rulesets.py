@@ -1,0 +1,330 @@
+"""Versioned ruleset registry: persisted artifacts, atomic hot swap.
+
+The serving tier explains verdicts with a behavior ruleset the same
+way it scores them with a model: under a read lease on a versioned
+registry.  This module gives rulesets the :class:`ModelRegistry`
+treatment —
+
+* every published ruleset is written to a versioned JSON artifact with
+  a SHA-256 recorded in ``ruleset_manifest.json``; loads verify the
+  hash, so a corrupted artifact can never be activated;
+* the active ruleset is replaced atomically under the same
+  writer-preference :class:`RWLock` discipline: every micro-batch
+  explains under a read lease, so no submission is ever explained by a
+  mix of two ruleset versions;
+* the bundled starter ruleset is the implicit **version 0** — a fresh
+  registry serves it until something better is pushed, and the serving
+  tier needs no special empty-registry path.
+
+Unlike models, rulesets are small and arrive over the wire
+(``POST /v1/admin/ruleset``), so the registry also supports an
+in-memory mode (``root=None``) for ephemeral workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import MetricsRegistry
+from repro.rules.builtin import builtin_ruleset
+from repro.rules.spec import RuleSpec, load_ruleset
+from repro.serve.registry import RWLock, IntegrityError
+
+__all__ = ["RulesetRegistry", "RulesetVersion", "BUILTIN_RULESET_VERSION"]
+
+#: Manifest schema marker for ``ruleset_manifest.json``.
+RULESET_MANIFEST_VERSION = 1
+
+#: The implicit version of the bundled starter ruleset.
+BUILTIN_RULESET_VERSION = 0
+
+
+def _canonical_bytes(source: bytes | str | list | tuple | dict) -> bytes:
+    """Normalize any accepted publish source to artifact bytes.
+
+    Raw bytes/str pass through verbatim (the pushed bytes are what is
+    hashed, so a mined artifact keeps its content hash end to end);
+    parsed forms are serialized canonically.
+    """
+    if isinstance(source, bytes):
+        return source
+    if isinstance(source, str):
+        return source.encode("utf-8")
+    if isinstance(source, dict):
+        return (
+            json.dumps(source, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+    specs = list(source)
+    payload = {"version": 1, "rules": []}
+    for spec in specs:
+        if isinstance(spec, RuleSpec):
+            payload["rules"].append(spec.to_dict())
+        else:
+            payload["rules"].append(dict(spec))
+    return (
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+class RulesetVersion:
+    """One published ruleset artifact (manifest record)."""
+
+    __slots__ = ("version", "filename", "sha256", "state", "metadata",
+                 "created", "n_rules")
+
+    def __init__(
+        self,
+        version: int,
+        filename: str,
+        sha256: str,
+        state: str = "archived",
+        metadata: dict | None = None,
+        created: float = 0.0,
+        n_rules: int = 0,
+    ):
+        self.version = version
+        self.filename = filename
+        self.sha256 = sha256
+        self.state = state
+        self.metadata = dict(metadata or {})
+        self.created = created
+        self.n_rules = n_rules
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "filename": self.filename,
+            "sha256": self.sha256,
+            "state": self.state,
+            "metadata": dict(self.metadata),
+            "created": self.created,
+            "n_rules": self.n_rules,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RulesetVersion":
+        return cls(
+            version=int(record["version"]),
+            filename=record["filename"],
+            sha256=record["sha256"],
+            state=record.get("state", "archived"),
+            metadata=dict(record.get("metadata", {})),
+            created=float(record.get("created", 0.0)),
+            n_rules=int(record.get("n_rules", 0)),
+        )
+
+
+class RulesetRegistry:
+    """Registry of behavior-ruleset artifacts with atomic activation.
+
+    Args:
+        root: directory holding artifacts and ``ruleset_manifest.json``
+            (created on demand; reopening restores the manifest and the
+            recorded active ruleset).  ``None`` keeps everything in
+            memory — published artifacts live only as long as the
+            process, which is exactly what a shard worker wants for
+            rulesets pushed over the wire.
+        metrics: metrics registry for ``ruleset_swap_total`` /
+            version-gauge telemetry.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._manifest_path = self.root / "ruleset_manifest.json"
+        else:
+            self._manifest_path = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = RWLock()
+        self._mutate = threading.Lock()
+        self.versions: dict[int, RulesetVersion] = {}
+        self._blobs: dict[int, bytes] = {}  # in-memory artifact store
+        # Version 0 — the bundled set — is always active until a swap.
+        self._active: tuple[int, tuple[RuleSpec, ...]] = (
+            BUILTIN_RULESET_VERSION,
+            builtin_ruleset(),
+        )
+        if self._manifest_path is not None and self._manifest_path.exists():
+            self._restore()
+        else:
+            self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+
+    def _save_manifest(self) -> None:
+        if self._manifest_path is None:
+            return
+        payload = {
+            "v": RULESET_MANIFEST_VERSION,
+            "versions": [
+                self.versions[v].to_dict() for v in sorted(self.versions)
+            ],
+        }
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self._manifest_path)
+
+    def _restore(self) -> None:
+        payload = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        if payload.get("v") != RULESET_MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported ruleset manifest version: {payload.get('v')!r}"
+            )
+        for record in payload.get("versions", []):
+            rv = RulesetVersion.from_dict(record)
+            self.versions[rv.version] = rv
+        for rv in self.versions.values():
+            if rv.state == "active":
+                self._active = (rv.version, self.load(rv.version))
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Artifact lifecycle
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        source: bytes | str | list | tuple | dict,
+        metadata: dict | None = None,
+        activate: bool = False,
+    ) -> RulesetVersion:
+        """Persist a ruleset as a new version.
+
+        ``source`` is anything :func:`repro.rules.load_ruleset`
+        accepts — raw JSON bytes/text, a parsed artifact dict, or a
+        list of :class:`RuleSpec` / rule dicts.  It is parsed *before*
+        anything is written, so an invalid ruleset never lands in the
+        registry; the artifact is written to a temp file and renamed
+        into place, mirroring :meth:`ModelRegistry.publish`.
+        """
+        blob = _canonical_bytes(source)
+        specs = load_ruleset(json.loads(blob.decode("utf-8")))
+        with self._mutate:
+            version = max(self.versions, default=BUILTIN_RULESET_VERSION) + 1
+            filename = f"ruleset_v{version:04d}.json"
+            digest = hashlib.sha256(blob).hexdigest()
+            if self.root is not None:
+                tmp = self.root / (filename + ".tmp")
+                tmp.write_bytes(blob)
+                tmp.replace(self.root / filename)
+            else:
+                self._blobs[version] = blob
+            rv = RulesetVersion(
+                version=version,
+                filename=filename,
+                sha256=digest,
+                state="archived",
+                metadata=dict(metadata or {}),
+                created=time.time(),
+                n_rules=len(specs),
+            )
+            self.versions[version] = rv
+            self._save_manifest()
+            self.metrics.inc("serve_rulesets_published_total")
+        if activate:
+            self.activate(version)
+        return rv
+
+    def load(self, version: int) -> tuple[RuleSpec, ...]:
+        """Parse one version, verifying its recorded hash.
+
+        Version 0 always resolves to the bundled ruleset.
+        """
+        if version == BUILTIN_RULESET_VERSION:
+            return builtin_ruleset()
+        rv = self._version(version)
+        if self.root is not None:
+            blob = (self.root / rv.filename).read_bytes()
+        else:
+            blob = self._blobs[version]
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != rv.sha256:
+            raise IntegrityError(
+                f"ruleset v{version} artifact hash mismatch: "
+                f"manifest {rv.sha256[:12]}…, file {digest[:12]}…"
+            )
+        return tuple(load_ruleset(json.loads(blob.decode("utf-8"))))
+
+    def _version(self, version: int) -> RulesetVersion:
+        try:
+            return self.versions[version]
+        except KeyError:
+            raise KeyError(f"unknown ruleset version {version}") from None
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+
+    def activate(self, version: int) -> None:
+        """Atomically make ``version`` the served ruleset.
+
+        The artifact is parsed and hash-verified *before* the write
+        lock is taken, so the critical section is a pointer exchange:
+        in-flight read leases finish explaining under the old version,
+        the swap happens, new leases see the new one.
+        """
+        specs = self.load(version)
+        with self._mutate:
+            with self._lock.write():
+                previous = self._active
+                self._active = (version, specs)
+            if previous[0] in self.versions:
+                prior = self.versions[previous[0]]
+                if prior.state == "active":
+                    prior.state = "archived"
+            if version in self.versions:
+                self.versions[version].state = "active"
+            self._save_manifest()
+            self.metrics.inc("ruleset_swap_total")
+            self._publish_gauges()
+
+    @property
+    def active_version(self) -> int:
+        with self._lock.read():
+            return self._active[0]
+
+    def active_specs(self) -> tuple[RuleSpec, ...]:
+        with self._lock.read():
+            return self._active[1]
+
+    @contextmanager
+    def lease(self):
+        """Read lease over a consistent ``(version, specs)`` pair.
+
+        Everything a caller evaluates under the lease sees one ruleset
+        version; a concurrent :meth:`activate` waits for the lease to
+        end.  Do not call manifest-mutating registry methods inside
+        the lease (they take the mutate lock, inverting lock order
+        with a waiting writer).
+        """
+        self._lock.acquire_read()
+        try:
+            yield self._active[0], self._active[1]
+        finally:
+            self._lock.release_read()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _publish_gauges(self) -> None:
+        self.metrics.set_gauge(
+            "serve_active_ruleset_version", self._active[0]
+        )
+        self.metrics.set_gauge(
+            "serve_rulesets_published", len(self.versions)
+        )

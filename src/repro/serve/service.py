@@ -18,11 +18,13 @@ import threading
 import time
 from pathlib import Path
 
+import json
+
 from repro.android.apk import Apk
 from repro.core.pipeline import ObservationCache, VettingPipeline
 from repro.emulator.cluster import ServerCluster
 from repro.obs import MetricsRegistry, SpanSink
-from repro.rules import RuleEvaluator
+from repro.rules import RuleCompileError, RuleEvaluator, lint_ruleset, load_ruleset
 from repro.serve.queue import (
     QueueFullError,
     SubmissionQueue,
@@ -32,6 +34,7 @@ from repro.serve.queue import (
     shard_of,
 )
 from repro.serve.registry import ModelRegistry
+from repro.serve.rulesets import RulesetRegistry
 
 __all__ = ["DrainStatus", "OnlineVettingService"]
 
@@ -90,11 +93,18 @@ class OnlineVettingService:
             single 16-slot server).
         poll_seconds: dispatcher wait per idle cycle.
         rules: behavioral rule evaluation for flagged submissions —
-            ``True`` (default) compiles the bundled ruleset against
-            each model version's key-API hook set (cached per version),
-            ``False`` disables it.  Explanations are embedded in the
-            WAL-recorded outcome, so they survive restart and are
-            served by ``GET /explain/<md5>``.
+            ``True`` (default) compiles the active ruleset against
+            each model version's key-API hook set (cached per
+            model/ruleset version pair), ``False`` disables it.
+            Explanations are embedded in the WAL-recorded outcome, so
+            they survive restart and are served by
+            ``GET /explain/<md5>``.
+        rulesets: the versioned ruleset registry the evaluator reads
+            from — a :class:`RulesetRegistry`, a directory path for a
+            persistent one, or ``None`` to build one automatically
+            (under ``<spool_dir>/rulesets`` when the queue is durable,
+            in memory otherwise).  ``POST /v1/admin/ruleset`` /
+            :meth:`push_ruleset` hot-swap it atomically.
         shard: ``(shard_id, n_shards)`` when this service is one shard
             of a sharded tier; :meth:`submit` then rejects md5s owned
             by another shard with :class:`WrongShardError` (HTTP 409),
@@ -124,6 +134,7 @@ class OnlineVettingService:
         cluster: ServerCluster | None = None,
         poll_seconds: float = 0.05,
         rules: bool = True,
+        rulesets: RulesetRegistry | str | Path | None = None,
         shard: tuple[int, int] | None = None,
         pace_seconds_per_minute: float = 0.0,
         pipeline_factory=None,
@@ -169,9 +180,16 @@ class OnlineVettingService:
         #: recovered from its WAL so completed work is never re-scored.
         self.results: dict[str, dict] = dict(self.queue.completed)
         self.rules_enabled = bool(rules)
-        #: model version -> compiled evaluator; populated lazily by the
-        #: dispatcher thread (the only writer).
-        self._evaluators: dict[int, RuleEvaluator] = {}
+        if isinstance(rulesets, RulesetRegistry):
+            self.rulesets = rulesets
+        else:
+            root = rulesets
+            if root is None and spool_dir is not None:
+                root = Path(spool_dir) / "rulesets"
+            self.rulesets = RulesetRegistry(root, metrics=self.metrics)
+        #: (model version, ruleset version) -> compiled evaluator;
+        #: populated lazily by the dispatcher thread (the only writer).
+        self._evaluators: dict[tuple[int, int], RuleEvaluator] = {}
         self._accept_wall: dict[int, float] = {}
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
@@ -231,8 +249,58 @@ class OnlineVettingService:
                 "status": outcome["status"],
                 "malicious": outcome.get("malicious"),
                 "explanation": outcome.get("explanation"),
+                "ruleset_version": outcome.get("ruleset_version"),
             }
         return {"md5": md5, "status": self.queue.status(md5)}
+
+    def push_ruleset(self, source, metadata: dict | None = None) -> dict:
+        """Validate, publish, and atomically activate a new ruleset.
+
+        ``source`` is raw JSON bytes/text or a parsed artifact — the
+        same shapes :func:`repro.rules.load_ruleset` accepts.  The
+        ruleset is parsed, linted, and compiled against the active
+        model's key-API hook set *before* it is published, so a bad
+        push can never take over explanations; swap is atomic under
+        the registry's write lock (in-flight micro-batches finish
+        under the old version).
+
+        Returns ``{ruleset_version, n_rules, sha256}``.
+
+        Raises:
+            ValueError: the ruleset failed parsing, linting, or
+                compilation.
+        """
+        if isinstance(source, (bytes, bytearray)):
+            parsed = json.loads(bytes(source).decode("utf-8"))
+        elif isinstance(source, str):
+            parsed = json.loads(source)
+        else:
+            parsed = source
+        specs = tuple(load_ruleset(parsed))
+        errors = [
+            issue
+            for issue in lint_ruleset(specs)
+            if issue.severity == "error"
+        ]
+        if errors:
+            raise ValueError(
+                "ruleset failed lint: "
+                + "; ".join(str(issue) for issue in errors)
+            )
+        checker = self.models.active_checker()
+        try:
+            RuleEvaluator.from_specs(
+                specs, checker.sdk, tracked_api_ids=checker.key_api_ids
+            )
+        except RuleCompileError as exc:
+            raise ValueError(f"ruleset failed compilation: {exc}") from exc
+        blob = source if isinstance(source, (bytes, str)) else parsed
+        rv = self.rulesets.publish(blob, metadata=metadata, activate=True)
+        return {
+            "ruleset_version": rv.version,
+            "n_rules": rv.n_rules,
+            "sha256": rv.sha256,
+        }
 
     def healthz(self) -> dict:
         """Liveness/readiness summary for ``GET /v1/healthz``."""
@@ -240,6 +308,7 @@ class OnlineVettingService:
             "status": "ok" if self.running else "stopped",
             "active_model_version": self.models.active_version,
             "shadow_model_version": self.models.shadow_version,
+            "ruleset_version": self.rulesets.active_version,
             "queue_depth": self.queue.depth,
             "completed": len(self.results),
             "workers": self.workers,
@@ -349,30 +418,56 @@ class OnlineVettingService:
             sink=self.sink,
         )
 
-    def _evaluator_for(self, version: int, checker) -> RuleEvaluator:
-        """The rule evaluator compiled for one model version.
+    def _evaluator_for(
+        self,
+        version: int,
+        checker,
+        ruleset_version: int,
+        specs,
+    ) -> RuleEvaluator:
+        """The evaluator compiled for one (model, ruleset) version pair.
 
-        Key-API sets differ per fitted checker, so each version gets
-        its own compilation; only the dispatcher thread touches the
-        cache.
+        Key-API sets differ per fitted checker and rule evidence per
+        ruleset version, so each pair gets its own compilation; a
+        ruleset hot swap therefore invalidates the cache by key, never
+        in place.  Only the dispatcher thread touches the cache.
         """
-        evaluator = self._evaluators.get(version)
+        key = (version, ruleset_version)
+        evaluator = self._evaluators.get(key)
         if evaluator is None:
-            evaluator = RuleEvaluator.builtin(
+            evaluator = RuleEvaluator.from_specs(
+                specs,
                 checker.sdk,
                 tracked_api_ids=checker.key_api_ids,
                 registry=self.metrics,
                 sink=self.sink,
             )
-            self._evaluators[version] = evaluator
+            self._evaluators[key] = evaluator
+            # Bound the cache: superseded (model, ruleset) compilations
+            # are never read again once both pointers move on.
+            while len(self._evaluators) > 8:
+                stale = next(
+                    k for k in self._evaluators if k != key
+                )
+                del self._evaluators[stale]
         return evaluator
 
     def _process_batch(self, batch: list[SubmissionRecord]) -> None:
-        """Analyze and score one micro-batch under one model lease."""
+        """Analyze and score one micro-batch under one model lease.
+
+        The ruleset lease is held for the whole batch alongside the
+        model lease, so every submission in it is explained by exactly
+        one ruleset version — a concurrent ruleset push waits for the
+        batch to finish.
+        """
         if not batch:
             return
         self.metrics.inc("serve_batches_total")
-        with self.models.lease() as (version, checker, shadow):
+        with self.models.lease() as (
+            version,
+            checker,
+            shadow,
+        ), self.rulesets.lease() as (ruleset_version, ruleset_specs):
             pipeline = self.pipeline_factory(checker.production_engine)
             result = pipeline.run([entry.apk for entry in batch])
             # One blocked scoring call for the whole micro-batch (and
@@ -414,6 +509,7 @@ class OnlineVettingService:
                                 "status": "failed",
                                 "reason": failure,
                                 "model_version": version,
+                                "ruleset_version": ruleset_version,
                                 "lane": lane_name(entry.lane),
                             },
                             None,
@@ -430,7 +526,7 @@ class OnlineVettingService:
                 explanation = None
                 if self.rules_enabled and verdict.malicious:
                     report = self._evaluator_for(
-                        version, checker
+                        version, checker, ruleset_version, ruleset_specs
                     ).evaluate_one(analysis.observation)
                     explanation = report.to_dict()
                 outcomes.append(
@@ -446,6 +542,7 @@ class OnlineVettingService:
                             "from_cache": analysis.from_cache,
                             "model_version": version,
                             "shadow_model_version": shadow_version,
+                            "ruleset_version": ruleset_version,
                             "lane": lane_name(entry.lane),
                             "explanation": explanation,
                         },

@@ -536,6 +536,45 @@ class ShardRouter:
         )
         return json.loads(data)
 
+    def push_ruleset(self, data: bytes | str) -> dict:
+        """Roll a new ruleset across every shard without dropping requests.
+
+        Each worker validates, publishes, and atomically activates the
+        pushed document behind its own write lock — in-flight
+        micro-batches finish under the old version, later ones explain
+        under the new one, and no submission ever sees a mix.  The
+        roll is sequential; on a validation failure (ValueError) or an
+        unreachable shard (:class:`ShardUnavailableError`) the roll
+        stops, so re-push after fixing the cause — re-activation is
+        idempotent in content (versions are per-shard counters).
+
+        Returns ``{"ruleset_version": <max across shards>, "shards":
+        {shard_id: receipt}}``.
+        """
+        body = data.encode("utf-8") if isinstance(data, str) else data
+        receipts: dict[int, dict] = {}
+        for shard_id in range(self.n_shards):
+            status, raw = self.proxy(
+                shard_id, "POST", "/v1/admin/ruleset", body
+            )
+            payload = json.loads(raw)
+            if status != 200:
+                detail = payload.get("error", {}).get(
+                    "message", raw.decode("utf-8", "replace")
+                )
+                raise ValueError(
+                    f"shard {shard_id} rejected ruleset: {detail}"
+                )
+            receipts[shard_id] = payload
+        self.metrics.inc("serve_router_ruleset_pushes_total")
+        return {
+            "ruleset_version": max(
+                r["ruleset_version"] for r in receipts.values()
+            ),
+            "n_rules": next(iter(receipts.values()))["n_rules"],
+            "shards": {str(k): v for k, v in receipts.items()},
+        }
+
     # -- scatter/gather ------------------------------------------------
 
     def healthz(self) -> dict:
@@ -694,6 +733,22 @@ class RouterApi:
             content_type="application/json",
             headers=retry_after_headers(status),
         )
+
+    def ruleset_push(self, body: bytes) -> Response:
+        """``POST /v1/admin/ruleset`` at the front door: roll to all shards."""
+        try:
+            receipt = self.router.push_ruleset(body)
+        except ValueError as exc:
+            return Response(
+                400, payload=error_body("bad_request", str(exc))
+            )
+        except ShardUnavailableError as exc:
+            return Response(
+                503,
+                payload=error_body("shard_unavailable", str(exc)),
+                headers=retry_after_headers(503),
+            )
+        return Response(200, payload=receipt)
 
 
 def make_router_server(

@@ -122,3 +122,91 @@ def test_metrics_command_demo_run(capsys):
     assert "# TYPE engine_submissions_total counter" in out
     assert "# TYPE pipeline_run_seconds histogram" in out
     assert "# TYPE cluster_slot_utilization gauge" in out
+
+
+def _write_builtin_ruleset(path):
+    import json
+
+    from repro.rules import builtin_ruleset
+
+    path.write_text(json.dumps({
+        "version": 1,
+        "rules": [s.to_dict() for s in builtin_ruleset()],
+    }))
+    return path
+
+
+def test_rules_mine_and_diff_commands(tmp_path, capsys):
+    out = tmp_path / "mined.json"
+    code = main(
+        ["rules", "mine", "--apis", "800", "--train", "220",
+         "--per-family", "15", "--benign", "150", "--seed", "5",
+         "--out", str(out)]
+    )
+    text = capsys.readouterr().out
+    assert code == 0
+    assert out.exists()
+    assert "mined " in text and "artifact:" in text
+
+    # The artifact passes the stock linter against the same SDK.
+    code = main(
+        ["rules", "lint", str(out), "--apis", "800", "--seed", "5"]
+    )
+    assert code == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+    # Diff against the bundled set reports the mined rules as added.
+    base = _write_builtin_ruleset(tmp_path / "builtin.json")
+    code = main(["rules", "diff", str(base), str(out)])
+    text = capsys.readouterr().out
+    assert code == 0
+    assert " added, 0 removed, 0 changed" in text
+    assert "+ mined_" in text
+
+    code = main(["rules", "diff", str(out), str(out)])
+    assert code == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_rules_diff_missing_file(tmp_path, capsys):
+    code = main(
+        ["rules", "diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+    )
+    assert code == 2
+    assert "no such ruleset" in capsys.readouterr().err
+
+
+def test_rules_push_command(tmp_path, capsys, fitted_checker):
+    from repro.serve import (
+        ModelRegistry,
+        OnlineVettingService,
+        make_server,
+    )
+
+    ruleset = _write_builtin_ruleset(tmp_path / "push.json")
+    models = ModelRegistry(tmp_path / "models")
+    models.publish(fitted_checker, activate=True)
+    with OnlineVettingService(models) as service:
+        server = make_server(service).start_background()
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            code = main(["rules", "push", str(ruleset), "--url", url])
+            text = capsys.readouterr().out
+            assert code == 0
+            assert "ruleset v1 live" in text
+            assert service.healthz()["ruleset_version"] == 1
+
+            # A rejected push (empty ruleset) surfaces the 400 detail.
+            bad = tmp_path / "bad.json"
+            bad.write_text('{"version": 1, "rules": []}')
+            code = main(["rules", "push", str(bad), "--url", url])
+            err = capsys.readouterr().err
+            assert code == 1
+            assert "400" in err
+        finally:
+            server.stop()
+
+    code = main(
+        ["rules", "push", str(tmp_path / "nope.json"), "--url", url]
+    )
+    assert code == 2

@@ -36,6 +36,7 @@ PUBLIC_API = frozenset(
         "KeyApiSelection",
         "MarketStream",
         "MetricsRegistry",
+        "MinedRuleset",
         "ModelRegistry",
         "ObservationCache",
         "OnlineVettingService",
@@ -45,6 +46,7 @@ PUBLIC_API = frozenset(
         "RuleEvaluator",
         "RuleHit",
         "RuleSpec",
+        "RulesetRegistry",
         "SdkSpec",
         "ShadowPromotionGate",
         "ShardRouter",
@@ -61,10 +63,13 @@ PUBLIC_API = frozenset(
         "bundled_campaigns",
         "campaign_by_name",
         "default_registry",
+        "diff_rulesets",
         "lint_ruleset",
+        "load_generated_ruleset",
         "load_ruleset",
         "make_router_server",
         "make_server",
+        "mine_ruleset",
         "poison_labels",
         "run_campaign",
         "select_key_apis",
@@ -118,6 +123,26 @@ def test_error_envelope_wire_contract_is_locked():
     assert "md5" not in error_body("bad_request", "nope")["error"]
     with pytest.raises(ValueError):
         error_body("made_up_code", "boom")
+
+
+def test_v1_route_table_is_locked():
+    """The /v1 route surface is a frozen wire contract.
+
+    Adding a route (as PR 9 did with the ruleset admin push) must
+    update this lock deliberately; removing one breaks clients.
+    """
+    from repro.serve.http import ROUTES
+
+    md5 = r"(?P<md5>[0-9a-fA-F]{4,64})"
+    assert {(r.method, r.pattern.pattern) for r in ROUTES} == {
+        ("POST", r"^/v1/submit$"),
+        ("GET", rf"^/v1/result/{md5}$"),
+        ("GET", rf"^/v1/explain/{md5}$"),
+        ("POST", r"^/v1/admin/ruleset$"),
+        ("GET", r"^/v1/healthz$"),
+        ("GET", r"^/v1/metrics$"),
+        ("GET", r"^/v1/metrics\.json$"),
+    }
 
 
 def test_observability_surface_reexported():

@@ -1,0 +1,265 @@
+"""Tests for rule mining (Apriori, scoring, dedupe, artifact, diff)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.rules import (
+    MiningError,
+    RuleEvaluator,
+    RuleSpec,
+    builtin_ruleset,
+    diff_rulesets,
+    lint_ruleset,
+    load_generated_ruleset,
+    load_ruleset,
+    mine_from_corpus,
+)
+from repro.rules.mining import (
+    _collapses,
+    _evidence_set,
+    _frequent_itemsets,
+)
+
+
+@pytest.fixture(scope="module")
+def mining_corpus(sdk, catalog):
+    from repro.corpus.generator import CorpusGenerator
+
+    gen = CorpusGenerator(sdk, seed=977, catalog=catalog)
+    return gen.generate_family_balanced(per_family=25, n_benign=250)
+
+
+@pytest.fixture(scope="module")
+def mined(fitted_checker, mining_corpus):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = mine_from_corpus(
+        fitted_checker, mining_corpus, seed=3, registry=registry
+    )
+    return result, registry
+
+
+def test_mines_rules_for_every_large_family(mined):
+    result, _ = mined
+    assert len(result.rules) > 0
+    large = {
+        f for f, s in result.families.items() if s["rows"] >= 8
+    }
+    kept_families = {r.family for r in result.rules}
+    assert large <= kept_families
+
+
+def test_lowkey_spy_blind_spot_is_closed(mined):
+    """The stock bundle covers no lowkey_spy; the mined set must."""
+    result, _ = mined
+    stock = {f for s in builtin_ruleset() for f in s.families}
+    assert "lowkey_spy" not in stock
+    spy = [r for r in result.rules if r.family == "lowkey_spy"]
+    assert spy, "mining kept no lowkey_spy rule"
+    assert result.families["lowkey_spy"]["fire_coverage"] > 0.5
+
+
+def test_mined_rules_clear_score_floors(mined):
+    result, _ = mined
+    params = result.params
+    for rule in result.rules:
+        assert rule.precision >= params["min_precision"]
+        assert rule.lift >= params["min_lift"]
+        assert rule.n_matches >= params["min_matches"]
+
+
+def test_every_mined_spec_is_well_formed(mined):
+    result, _ = mined
+    for rule in result.rules:
+        spec = rule.spec
+        assert spec.behavior.startswith(f"mined_{rule.family}_")
+        assert len(spec.apis) >= 1  # anchor-API guarantee
+        assert spec.families == (rule.family,)
+        assert spec.description
+
+
+def test_mined_rules_lint_clean(mined, sdk):
+    result, _ = mined
+    issues = lint_ruleset(result.specs, sdk=sdk)
+    assert not [i for i in issues if i.severity == "error"]
+
+
+def test_mined_evidence_never_collapses_into_base(mined):
+    result, _ = mined
+    base_ev = [_evidence_set(s) for s in result.base]
+    overlap = result.params["max_overlap"]
+    for rule in result.rules:
+        ev = _evidence_set(rule.spec)
+        assert not any(_collapses(ev, b, overlap) for b in base_ev)
+
+
+def test_same_family_rules_do_not_collapse(mined):
+    result, _ = mined
+    overlap = result.params["max_overlap"]
+    by_family: dict[str, list] = {}
+    for rule in result.rules:
+        by_family.setdefault(rule.family, []).append(
+            _evidence_set(rule.spec)
+        )
+    for evs in by_family.values():
+        for a, b in combinations(evs, 2):
+            assert not _collapses(a, b, overlap)
+
+
+def test_mining_counter(mined):
+    result, registry = mined
+    assert registry.value("rules_mined_total") == len(result.rules)
+
+
+def test_mining_is_deterministic(fitted_checker, mining_corpus, mined):
+    result, _ = mined
+    again = mine_from_corpus(fitted_checker, mining_corpus, seed=3)
+    assert again.to_json() == result.to_json()
+    assert again.sha256 == result.sha256
+
+
+def test_artifact_round_trip(tmp_path, mined):
+    result, _ = mined
+    path = result.save(tmp_path / "mined.json")
+    loaded = load_generated_ruleset(path)
+    assert loaded.rules == result.rules
+    assert loaded.base == result.base
+    assert loaded.params == dict(result.params)
+    assert loaded.sha256 == result.sha256
+    # load from the parsed dict too
+    assert load_generated_ruleset(result.to_artifact()).sha256 == (
+        result.sha256
+    )
+
+
+def test_stock_loader_reads_generated_artifact(tmp_path, mined):
+    result, _ = mined
+    path = result.save(tmp_path / "mined.json")
+    specs = load_ruleset(path)
+    assert tuple(specs) == result.specs
+
+
+def test_load_generated_rejects_plain_ruleset():
+    with pytest.raises(MiningError, match="no 'generated' block"):
+        load_generated_ruleset(
+            {"rules": [s.to_dict() for s in builtin_ruleset()]}
+        )
+
+
+def test_load_generated_rejects_unknown_format(mined):
+    result, _ = mined
+    artifact = result.to_artifact()
+    artifact["generated"]["format"] = 999
+    with pytest.raises(MiningError, match="unsupported"):
+        load_generated_ruleset(artifact)
+
+
+def test_mine_rejects_misaligned_inputs(fitted_checker, mining_corpus):
+    obs = fitted_checker.production_engine.observations(
+        list(mining_corpus)[:10]
+    )
+    with pytest.raises(MiningError, match="misaligned"):
+        from repro.rules import mine_ruleset
+
+        mine_ruleset(
+            obs, [True] * 9, ["x"] * 10, fitted_checker.feature_space
+        )
+
+
+def test_mine_rejects_empty_corpus(fitted_checker):
+    from repro.rules import mine_ruleset
+
+    with pytest.raises(MiningError, match="empty"):
+        mine_ruleset([], [], [], fitted_checker.feature_space)
+
+
+def test_apriori_matches_bruteforce_support():
+    rng = np.random.default_rng(11)
+    rows = rng.random((60, 8)) < 0.45
+    items = list(range(8))
+    found = set(_frequent_itemsets(rows, items, 0.3, 3))
+    for size in (1, 2, 3):
+        for itemset in combinations(items, size):
+            support = rows[:, list(itemset)].all(axis=1).mean()
+            if support >= 0.3:
+                assert itemset in found, itemset
+            else:
+                assert itemset not in found, itemset
+
+
+def test_mined_ruleset_detects_fresh_lowkey_spy(
+    mined, fitted_checker, sdk, catalog
+):
+    """Evaluator-semantics family recall on apps mining never saw."""
+    from repro.corpus.generator import CorpusGenerator
+
+    result, _ = mined
+    gen = CorpusGenerator(sdk, seed=1889, catalog=catalog)
+    apps = [gen.sample_app(archetype="lowkey_spy") for _ in range(25)]
+    obs = fitted_checker.production_engine.observations(apps)
+
+    def family_recall(specs):
+        evaluator = RuleEvaluator.from_specs(
+            specs, sdk, tracked_api_ids=fitted_checker.key_api_ids
+        )
+        fam_of = {s.behavior: s.families for s in specs}
+        hits = 0
+        for report in evaluator.evaluate(obs):
+            if any(
+                "lowkey_spy" in fam_of[h.behavior] and h.stage >= 1
+                for h in report.hits
+            ):
+                hits += 1
+        return hits / len(obs)
+
+    assert family_recall(builtin_ruleset()) == 0.0
+    assert family_recall(result.specs) >= 0.5
+
+
+# ----------------------------------------------------------------------
+# rules diff
+# ----------------------------------------------------------------------
+
+
+def _spec(behavior, apis=("a",), perms=(), weight=1.0):
+    return RuleSpec(
+        behavior=behavior,
+        apis=tuple(apis),
+        description=f"test rule {behavior}",
+        permissions=tuple(perms),
+        weight=weight,
+    )
+
+
+def test_diff_identical_rulesets_is_empty():
+    diff = diff_rulesets(builtin_ruleset(), builtin_ruleset())
+    assert diff.is_empty
+    assert "identical" in diff.format()
+
+
+def test_diff_reports_added_removed_changed():
+    old = [_spec("keep"), _spec("drop"), _spec("tweak", apis=("a", "b"))]
+    new = [
+        _spec("keep"),
+        _spec("add"),
+        _spec("tweak", apis=("b", "c"), weight=2.0),
+    ]
+    diff = diff_rulesets(old, new)
+    assert [s.behavior for s in diff.added] == ["add"]
+    assert [s.behavior for s in diff.removed] == ["drop"]
+    assert [c.behavior for c in diff.changed] == ["tweak"]
+    text = diff.format()
+    assert "1 added, 1 removed, 1 changed" in text
+    assert "+add" in text or "add" in text
+    changed = diff.changed[0]
+    fields = dict(changed.fields)
+    assert "apis" in fields and "weight" in fields
+
+
+def test_diff_ignores_tuple_order():
+    old = [_spec("r", apis=("a", "b"), perms=("P1", "P2"))]
+    new = [_spec("r", apis=("b", "a"), perms=("P2", "P1"))]
+    assert diff_rulesets(old, new).is_empty

@@ -254,6 +254,70 @@ def test_kill_one_shard_midbatch_replay_is_exactly_once(
         ) == replayed
 
 
+def test_ruleset_roll_mid_traffic_loses_nothing(
+    model_dir, tmp_path, generator
+):
+    """Pushing a ruleset through the router mid-traffic drops nothing.
+
+    Half the day is in flight when the roll starts; afterwards every
+    submission is terminal (zero lost), every shard's healthz reports
+    the new ``ruleset_version``, and no explanation mixes versions —
+    each flagged outcome's hit behaviors carry exactly the suffix of
+    the ruleset version that explained it.
+    """
+    from repro.rules import builtin_ruleset
+
+    renamed = json.dumps({
+        "version": 1,
+        "rules": [
+            {**spec.to_dict(), "behavior": spec.behavior + "__v1"}
+            for spec in builtin_ruleset()
+        ],
+    }).encode("utf-8")
+
+    fresh = [
+        generator.sample_app(malicious=True) for _ in range(6)
+    ] + [generator.sample_app() for _ in range(6)]
+    with _router(model_dir, tmp_path, n_shards=2) as router:
+        for apk in fresh[:6]:
+            router.submit(apk)
+        receipt = router.push_ruleset(renamed)
+        assert receipt["ruleset_version"] == 1
+        assert set(receipt["shards"]) == {"0", "1"}
+        for apk in fresh[6:]:
+            router.submit(apk)
+
+        states = _await_terminal(router, [a.md5 for a in fresh])
+        assert states.count("done") == len(fresh)  # zero lost
+
+        health = router.healthz()
+        assert health["status"] == "ok"
+        assert [s["ruleset_version"] for s in health["shards"]] == [1, 1]
+
+        for apk in fresh:
+            explained = router.explain(apk.md5)
+            version = explained["ruleset_version"]
+            assert version in (0, 1)
+            if explained.get("explanation"):
+                behaviors = {
+                    h["behavior"]
+                    for h in explained["explanation"]["hits"]
+                }
+                expected = version == 1
+                assert all(
+                    b.endswith("__v1") == expected for b in behaviors
+                )
+
+        aggregate = router.metrics_registry()
+        assert aggregate.value(
+            "serve_router_ruleset_pushes_total", shard="router"
+        ) == 1
+        for shard in ("0", "1"):
+            assert aggregate.value(
+                "ruleset_swap_total", shard=shard
+            ) == 1
+
+
 def test_front_door_503_envelope_when_shard_down(
     model_dir, tmp_path, generator
 ):
