@@ -154,9 +154,12 @@ def main() -> int:
     assert depth == 0, f"queue not drained: depth {depth}"
     assert active == version
 
-    # Legacy unprefixed paths still answer, via the deprecation 301.
-    status, body = _get(f"{base}/healthz")  # urllib follows the 301
-    assert status == 200 and json.loads(body)["status"] == "ok"
+    # Legacy unprefixed paths are gone: their 301 grace window passed.
+    try:
+        status, body = _get(f"{base}/healthz")
+    except urllib.error.HTTPError as exc:
+        status = exc.code
+    assert status == 404, f"unprefixed /healthz must 404, got {status}"
     print(
         f"accepted={accepted:.0f} completed={completed:.0f} "
         f"scored={scored:.0f} depth={depth:.0f} "

@@ -37,7 +37,31 @@ from repro.corpus.market import (
     TMarket,
     poison_labels,
 )
+from repro.drift import (
+    DaySlice,
+    DriftEvent,
+    DriftMonitorBank,
+    DriftTriggeredPolicy,
+    DriftingMarket,
+    DriftingMarketStream,
+    HybridPolicy,
+    MonthlyPolicy,
+    NeverPolicy,
+    PsiMonitor,
+    RetrainDecision,
+    RetrainPolicy,
+    RollingF1Monitor,
+    SemesterSlice,
+    ShadowAgreementMonitor,
+)
 from repro.ml.forest import RandomForest
+from repro.ml.validation import (
+    FutureLeakageError,
+    assert_no_future_leakage,
+    chronological_split,
+    rolling_time_windows,
+    semester_slices,
+)
 from repro.obs import (
     MetricsRegistry,
     SpanSink,
@@ -62,8 +86,12 @@ from repro.scenarios import (
     Campaign,
     CampaignReport,
     CampaignRunner,
+    DriftDayReport,
+    DriftYearReport,
+    DriftYearRunner,
     bundled_campaigns,
     campaign_by_name,
+    replay_drift_year,
     run_campaign,
 )
 from repro.serve import (
@@ -82,7 +110,7 @@ from repro.serve import (
     shard_of,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AndroidSdk",
@@ -97,27 +125,46 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "CorpusGenerator",
+    "DaySlice",
+    "DriftDayReport",
+    "DriftEvent",
+    "DriftMonitorBank",
+    "DriftTriggeredPolicy",
+    "DriftYearReport",
+    "DriftYearRunner",
+    "DriftingMarket",
+    "DriftingMarketStream",
     "DynamicAnalysisEngine",
     "ERROR_CODES",
     "EngineStats",
     "EvolutionLoop",
     "FeatureMode",
     "FeatureSpace",
+    "FutureLeakageError",
+    "HybridPolicy",
     "KeyApiSelection",
     "MarketStream",
     "MetricsRegistry",
     "MinedRuleset",
     "ModelRegistry",
+    "MonthlyPolicy",
+    "NeverPolicy",
     "ObservationCache",
     "OnlineVettingService",
+    "PsiMonitor",
     "QueueFullError",
     "RandomForest",
+    "RetrainDecision",
+    "RetrainPolicy",
     "ReviewPipeline",
+    "RollingF1Monitor",
     "RuleEvaluator",
     "RuleHit",
     "RuleSpec",
     "RulesetRegistry",
     "SdkSpec",
+    "SemesterSlice",
+    "ShadowAgreementMonitor",
     "ShadowPromotionGate",
     "ShardRouter",
     "ShardUnavailableError",
@@ -129,9 +176,11 @@ __all__ = [
     "VettingPipeline",
     "VettingService",
     "WrongShardError",
+    "assert_no_future_leakage",
     "builtin_ruleset",
     "bundled_campaigns",
     "campaign_by_name",
+    "chronological_split",
     "default_registry",
     "diff_rulesets",
     "lint_ruleset",
@@ -141,8 +190,11 @@ __all__ = [
     "make_server",
     "mine_ruleset",
     "poison_labels",
+    "replay_drift_year",
+    "rolling_time_windows",
     "run_campaign",
     "select_key_apis",
+    "semester_slices",
     "shard_of",
     "span",
 ]

@@ -45,6 +45,11 @@ class MonthlyRecord:
             ``agreement``, and ``reason`` when a
             :class:`repro.serve.evolution.ShadowPromotionGate` is wired
             in.
+        retrained: whether the loop's retrain policy fired this month
+            (always True for the legacy policy-less loop; also None
+            promotion when it did not fire).
+        decision: the :class:`~repro.drift.policy.RetrainDecision`
+            behind ``retrained`` (None for the policy-less loop).
     """
 
     month: int
@@ -53,6 +58,8 @@ class MonthlyRecord:
     sdk_size: int
     pool_size: int
     promotion: object | None = None
+    retrained: bool = True
+    decision: object | None = None
 
 
 class EvolutionLoop:
@@ -75,6 +82,18 @@ class EvolutionLoop:
             unconditional replace (see
             :class:`repro.serve.evolution.ShadowPromotionGate`).
             ``None`` preserves the historical unconditional swap.
+        retrain_policy: optional :class:`~repro.drift.policy.RetrainPolicy`
+            deciding *whether* each month retrains at all.  ``None``
+            preserves the paper's monthly-always cadence.  A policy is
+            consulted after the month's traffic is vetted and absorbed
+            (and the drift monitors updated), so drift-triggered
+            policies see the month that just happened.
+        monitors: optional :class:`~repro.drift.detectors.DriftMonitorBank`
+            the loop feeds each month — the market's review labels are
+            the labeled-lag feedback stream for the rolling-F1 monitor,
+            and the month's encoded feature block updates the PSI
+            monitor (its reference is re-baselined from the training
+            pool at every adopted retrain).
     """
 
     def __init__(
@@ -86,6 +105,8 @@ class EvolutionLoop:
         checker_seed: int = 0,
         monkey_events: int = 5000,
         model_gate: Callable[..., object] | None = None,
+        retrain_policy: object | None = None,
+        monitors: object | None = None,
     ):
         if max_pool < len(initial_corpus):
             raise ValueError("max_pool must hold at least the initial corpus")
@@ -93,6 +114,9 @@ class EvolutionLoop:
         self.max_pool = max_pool
         self.monkey_events = monkey_events
         self.model_gate = model_gate
+        self.retrain_policy = retrain_policy
+        self.monitors = monitors
+        self.retrain_count = 0
         self._checker_seed = checker_seed
         self._rng = np.random.default_rng(checker_seed)
         labels = (
@@ -103,6 +127,7 @@ class EvolutionLoop:
         self._pool_labels = list(np.asarray(labels, dtype=bool))
         self._pool_obs = self._study(initial_corpus)
         self.checker = self._retrain()
+        self._rebaseline_monitors()
         self.history: list[MonthlyRecord] = []
 
     def _study(self, corpus: AppCorpus | list) -> list[AppObservation]:
@@ -142,10 +167,56 @@ class EvolutionLoop:
             self._pool_labels = self._pool_labels[overflow:]
             self._pool_obs = self._pool_obs[overflow:]
 
-    def run_month(self) -> MonthlyRecord:
-        """Vet one month with the current model, then retrain.
+    def _rebaseline_monitors(self) -> None:
+        """Reset drift windows against the (new) serving model.
 
-        With a ``model_gate`` installed, the retrained candidate only
+        The PSI reference becomes the training pool's column
+        frequencies under the serving model's feature space — drift is
+        always measured relative to what the *current* model was
+        trained on.
+        """
+        if self.monitors is None:
+            return
+        self.monitors.reset()
+        psi = getattr(self.monitors, "psi", None)
+        if psi is not None and self.checker.feature_space is not None:
+            self.monitors.set_psi_reference(
+                self.checker.feature_space.encode_batch(self._pool_obs)
+            )
+
+    def _observe_month(self, batch, predicted: np.ndarray) -> None:
+        """Feed the month into the drift monitors (labeled-lag + PSI).
+
+        The market's review labels stand in for the labeled-lag
+        feedback stream — by the time a month closes, its reviews have
+        landed — and the month's traffic (encoded under the *serving*
+        model's feature space) updates the population-stability view.
+        """
+        if self.monitors is None:
+            return
+        f1_monitor = getattr(self.monitors, "f1", None)
+        if f1_monitor is not None:
+            f1_monitor.update_many(
+                predicted, batch.market_labels.astype(bool)
+            )
+        psi = getattr(self.monitors, "psi", None)
+        if psi is not None and psi._reference is not None:  # noqa: SLF001
+            month_obs = self._pool_obs[-len(batch.corpus):]
+            self.monitors.record_block(
+                self.checker.feature_space.encode_batch(month_obs)
+            )
+
+    def run_month(self) -> MonthlyRecord:
+        """Vet one month with the current model, then maybe retrain.
+
+        Without a ``retrain_policy`` the loop retrains unconditionally
+        (the paper's monthly cadence).  With one, the policy is asked
+        after the month's traffic is vetted, absorbed, and fed to the
+        drift monitors; a False decision skips the retrain entirely —
+        the month still joins the pool, feeding whichever later retrain
+        the policy does fire.
+
+        With a ``model_gate`` installed, a retrained candidate only
         replaces the serving model when the gate promotes it; otherwise
         the month's data is still absorbed (it feeds the *next*
         retrain) but the previous model keeps serving.
@@ -155,22 +226,36 @@ class EvolutionLoop:
         predicted = np.array([v.malicious for v in verdicts])
         report = evaluate(batch.market_labels, predicted)
         self._absorb(batch)
-        candidate = self._retrain()
-        promotion = None
-        if self.model_gate is None:
-            self.checker = candidate
-        else:
-            # The month's study observations are the pool tail (eviction
-            # drops from the front), a ready-made replay set for shadow
-            # agreement scoring.
-            month_obs = self._pool_obs[-len(batch.corpus):]
-            promotion = self.model_gate(
-                candidate,
-                month_obs,
-                metadata={"month": batch.month_index},
+        self._observe_month(batch, predicted)
+        decision = None
+        retrain = True
+        if self.retrain_policy is not None:
+            decision = self.retrain_policy.should_retrain(
+                batch.month_index, monitors=self.monitors
             )
-            if getattr(promotion, "promoted", True):
+            retrain = bool(decision.retrain)
+        promotion = None
+        if retrain:
+            candidate = self._retrain()
+            self.retrain_count += 1
+            if self.retrain_policy is not None:
+                self.retrain_policy.record_retrain(batch.month_index)
+            if self.model_gate is None:
                 self.checker = candidate
+                self._rebaseline_monitors()
+            else:
+                # The month's study observations are the pool tail
+                # (eviction drops from the front), a ready-made replay
+                # set for shadow agreement scoring.
+                month_obs = self._pool_obs[-len(batch.corpus):]
+                promotion = self.model_gate(
+                    candidate,
+                    month_obs,
+                    metadata={"month": batch.month_index},
+                )
+                if getattr(promotion, "promoted", True):
+                    self.checker = candidate
+                    self._rebaseline_monitors()
         record = MonthlyRecord(
             month=batch.month_index,
             report=report,
@@ -178,6 +263,8 @@ class EvolutionLoop:
             sdk_size=len(self.stream.sdk),
             pool_size=len(self._pool_apps),
             promotion=promotion,
+            retrained=retrain,
+            decision=decision,
         )
         self.history.append(record)
         return record

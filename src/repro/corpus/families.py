@@ -604,11 +604,11 @@ class ArchetypeCatalog:
 
     @property
     def malware_names(self) -> list[str]:
-        return [a.name for a in MALWARE_ARCHETYPES]
+        return [a.name for a in self.archetypes.values() if a.malicious]
 
     @property
     def benign_names(self) -> list[str]:
-        return [a.name for a in BENIGN_ARCHETYPES]
+        return [a.name for a in self.archetypes.values() if not a.malicious]
 
     def get(self, name: str) -> BehaviorArchetype:
         try:
@@ -621,7 +621,89 @@ class ArchetypeCatalog:
 
     def sample_name(self, malicious: bool, rng: np.random.Generator) -> str:
         """Draw an archetype name weighted by prevalence."""
-        pool = MALWARE_ARCHETYPES if malicious else BENIGN_ARCHETYPES
+        pool = [a for a in self.archetypes.values() if a.malicious == malicious]
         weights = np.array([a.weight for a in pool])
         weights = weights / weights.sum()
         return pool[int(rng.choice(len(pool), p=weights))].name
+
+    # ------------------------------------------------------------------
+    # Drift hooks (repro.drift): runtime catalog evolution
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        archetype: BehaviorArchetype,
+        signature: np.ndarray | list[int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Introduce a new archetype mid-stream (new-family drift).
+
+        ``signature`` fixes the family's discriminative-API signature
+        explicitly; otherwise ``signature_size`` APIs are drawn from
+        the SDK's discriminative pool with ``rng`` (default: the
+        catalog's own stream).  Returns the bound signature.
+        """
+        if archetype.name in self.archetypes:
+            raise ValueError(f"archetype {archetype.name!r} already registered")
+        if signature is None:
+            rng = rng if rng is not None else self._rng
+            pool = self.sdk.discriminative_api_ids
+            signature = rng.choice(
+                pool, size=min(archetype.signature_size, len(pool)),
+                replace=False,
+            )
+        signature = np.unique(np.asarray(signature, dtype=int))
+        self.archetypes[archetype.name] = archetype
+        self.signatures[archetype.name] = signature
+        return signature
+
+    def extend_signature(
+        self, name: str, api_ids: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Add APIs to a family's signature (SDK-adoption drift)."""
+        merged = np.unique(
+            np.append(self.signature_of(name), np.asarray(api_ids, dtype=int))
+        )
+        self.signatures[name] = merged
+        return merged
+
+    def mutate_signature(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        fraction: float = 0.3,
+        pool: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Rotate a fraction of a family's signature onto fresh APIs.
+
+        Per-SDK-release drift within a family: roughly ``fraction`` of
+        its non-canonical signature APIs are dropped and replaced by
+        the same number of draws from ``pool`` (default: the SDK's
+        discriminative pool).  Canonical APIs — the behaviour that
+        *defines* the family — are never rotated out.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        arch = self.get(name)
+        canonical = np.array(
+            [self.sdk.by_name(n).api_id for n in arch.canonical_apis],
+            dtype=int,
+        )
+        signature = self.signature_of(name)
+        rotatable = signature[~np.isin(signature, canonical)]
+        n_rotate = int(round(fraction * rotatable.size))
+        if n_rotate == 0:
+            return signature
+        dropped = rng.choice(rotatable, size=n_rotate, replace=False)
+        if pool is None:
+            pool = self.sdk.discriminative_api_ids
+        candidates = pool[~np.isin(pool, signature)]
+        n_new = min(n_rotate, candidates.size)
+        added = (
+            rng.choice(candidates, size=n_new, replace=False)
+            if n_new else np.array([], dtype=int)
+        )
+        kept = signature[~np.isin(signature, dropped)]
+        mutated = np.unique(np.concatenate([kept, added.astype(int)]))
+        self.signatures[name] = mutated
+        return mutated

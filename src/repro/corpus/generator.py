@@ -109,22 +109,7 @@ class CorpusGenerator:
         # key-like APIs (restricted/sensitive/discriminative) are reached
         # exclusively through archetype profiles so that their benign
         # base rates stay controlled.
-        excluded = (
-            set(sdk.ubiquitous_api_ids.tolist())
-            | set(sdk.restricted_api_ids.tolist())
-            | set(sdk.sensitive_api_ids.tolist())
-            | set(sdk.discriminative_api_ids.tolist())
-        )
-        self._breadth_pool = np.array(
-            [a.api_id for a in sdk if a.api_id not in excluded]
-        )
-        # Zipf-like popularity: weight by invocation rate times a heavy
-        # lognormal factor so most tail APIs are "seldom invoked" (<0.1%
-        # of apps, the paper's cutoff) while a popular head dominates.
-        rates = sdk.base_rates[self._breadth_pool]
-        popularity = self._rng.lognormal(0.0, 2.0, size=rates.size)
-        weights = rates * popularity
-        self._breadth_weights = weights / weights.sum()
+        self.refresh_breadth_pools(self._rng)
         self._common_ops = set(sdk.common_ops_api_ids.tolist())
         self._request_actions = [
             a.name for a in sdk.intents.request_actions()
@@ -135,6 +120,41 @@ class CorpusGenerator:
         self._restrictive_perm_names = [
             p.name for p in sdk.permissions.restrictive()
         ]
+
+    def refresh_breadth_pools(
+        self, rng: np.random.Generator | None = None
+    ) -> None:
+        """(Re)compute the ordinary-API breadth pool and its popularity.
+
+        The pool holds ordinary functionality APIs only — ubiquitous
+        plumbing is sampled separately, and key-like APIs
+        (restricted/sensitive/discriminative) are reached exclusively
+        through archetype profiles so that their benign base rates stay
+        controlled.  Weights are Zipf-like: invocation rate times a
+        heavy lognormal popularity factor, so most tail APIs are
+        "seldom invoked" (<0.1% of apps, the paper's cutoff) while a
+        popular head dominates.
+
+        Called at construction; called again by the drift machinery to
+        model *benign API fashion shift* (a fresh popularity draw moves
+        the popular head) and after an SDK release to fold new tail
+        APIs into the pool.
+        """
+        sdk = self.sdk
+        rng = rng if rng is not None else self._rng
+        excluded = (
+            set(sdk.ubiquitous_api_ids.tolist())
+            | set(sdk.restricted_api_ids.tolist())
+            | set(sdk.sensitive_api_ids.tolist())
+            | set(sdk.discriminative_api_ids.tolist())
+        )
+        self._breadth_pool = np.array(
+            [a.api_id for a in sdk if a.api_id not in excluded]
+        )
+        rates = sdk.base_rates[self._breadth_pool]
+        popularity = rng.lognormal(0.0, 2.0, size=rates.size)
+        weights = rates * popularity
+        self._breadth_weights = weights / weights.sum()
 
     # ------------------------------------------------------------------
     # Blueprint sampling

@@ -291,6 +291,7 @@ class MarketStream:
         self.sdk = new_sdk
         gen = self.generator
         gen.sdk = new_sdk
+        gen.catalog.sdk = new_sdk
         # Newly added malware-leaning APIs join some family signatures.
         new_disc = new_sdk.discriminative_api_ids[
             new_sdk.discriminative_api_ids >= old_n
@@ -299,21 +300,7 @@ class MarketStream:
             name = gen.catalog.malware_names[
                 int(self._rng.integers(len(gen.catalog.malware_names)))
             ]
-            gen.catalog.signatures[name] = np.unique(
-                np.append(gen.catalog.signatures[name], int(api_id))
-            )
+            gen.catalog.extend_signature(name, [int(api_id)])
         # Refresh breadth pools to include the new tail APIs (same
         # exclusions and Zipf-like popularity as generator init).
-        excluded = (
-            set(new_sdk.ubiquitous_api_ids.tolist())
-            | set(new_sdk.restricted_api_ids.tolist())
-            | set(new_sdk.sensitive_api_ids.tolist())
-            | set(new_sdk.discriminative_api_ids.tolist())
-        )
-        gen._breadth_pool = np.array(  # noqa: SLF001
-            [a.api_id for a in new_sdk if a.api_id not in excluded]
-        )
-        rates = new_sdk.base_rates[gen._breadth_pool]  # noqa: SLF001
-        popularity = self._rng.lognormal(0.0, 2.0, size=rates.size)
-        weights = rates * popularity
-        gen._breadth_weights = weights / weights.sum()  # noqa: SLF001
+        gen.refresh_breadth_pools(self._rng)

@@ -1,0 +1,58 @@
+"""repro.drift: drifting markets, drift detection, continuous evolution.
+
+The subsystem spans corpus → validation → detection → serving (see
+docs/drift.md):
+
+- :mod:`repro.drift.market` — :class:`DriftingMarket`, a seeded
+  day-granular submission stream with a deterministic drift model, and
+  :class:`DriftingMarketStream`, its evolution-loop adapter.
+- :mod:`repro.drift.detectors` — online drift monitors
+  (shadow agreement, labeled-lag rolling F1, PSI over feature-column
+  frequencies) bundled into a :class:`DriftMonitorBank`.
+- :mod:`repro.drift.policy` — pluggable
+  :class:`~repro.drift.policy.RetrainPolicy` implementations driving
+  :class:`~repro.core.evolution.EvolutionLoop`.
+
+Time-aware train/test splitting lives with the other validation tools
+in :mod:`repro.ml.validation`.
+"""
+
+from repro.drift.detectors import (
+    DriftMonitorBank,
+    PsiMonitor,
+    RollingF1Monitor,
+    ShadowAgreementMonitor,
+)
+from repro.drift.market import (
+    DaySlice,
+    DriftEvent,
+    DriftingMarket,
+    DriftingMarketStream,
+    SemesterSlice,
+)
+from repro.drift.policy import (
+    DriftTriggeredPolicy,
+    HybridPolicy,
+    MonthlyPolicy,
+    NeverPolicy,
+    RetrainDecision,
+    RetrainPolicy,
+)
+
+__all__ = [
+    "DaySlice",
+    "DriftEvent",
+    "DriftMonitorBank",
+    "DriftTriggeredPolicy",
+    "DriftingMarket",
+    "DriftingMarketStream",
+    "HybridPolicy",
+    "MonthlyPolicy",
+    "NeverPolicy",
+    "PsiMonitor",
+    "RetrainDecision",
+    "RetrainPolicy",
+    "RollingF1Monitor",
+    "SemesterSlice",
+    "ShadowAgreementMonitor",
+]

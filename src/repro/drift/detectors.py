@@ -1,0 +1,407 @@
+"""Online drift detectors over the serving tier.
+
+Three small stateful monitors, each answering "has the world moved
+under the serving model?" from a different vantage point:
+
+- :class:`ShadowAgreementMonitor` — rolling agreement between the
+  active and shadow models.  A freshly retrained candidate diverging
+  from the incumbent on *live* traffic is the earliest signal that the
+  traffic no longer looks like the incumbent's training data.
+- :class:`RollingF1Monitor` — rolling F1 over a labeled-lag feedback
+  stream.  Market review labels arrive hours-to-days after the verdict
+  (§2); replaying them against the recorded verdicts measures realized
+  accuracy decay directly, just late.
+- :class:`PsiMonitor` — a population-stability-index monitor over
+  :class:`~repro.core.features.FeatureBlock` column frequencies.
+  Label-free and earliest of all: it fires when the *input*
+  distribution (which APIs/permissions/intents fire, per column)
+  shifts from the training reference, before accuracy visibly moves.
+
+Every monitor exposes ``drift_score`` (0 = stable, higher = drifted),
+an ``alarmed`` flag with edge-triggered alarm counting, and publishes
+``drift_score{monitor=...}`` gauges plus a ``drift_alarms_total``
+counter to a :class:`~repro.obs.MetricsRegistry`.
+:class:`DriftMonitorBank` bundles them behind the update surface the
+serving tier and the evolution loop call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.ml.metrics import evaluate
+from repro.obs import MetricsRegistry
+
+__all__ = [
+    "DriftMonitorBank",
+    "PsiMonitor",
+    "RollingF1Monitor",
+    "ShadowAgreementMonitor",
+]
+
+
+class _BaseMonitor:
+    """Shared state machine: score gauge + edge-triggered alarms."""
+
+    def __init__(
+        self,
+        name: str,
+        threshold: float,
+        min_samples: int,
+        registry: MetricsRegistry | None,
+    ):
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.registry = registry
+        self.alarms = 0
+        self._alarmed = False
+
+    @property
+    def samples(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def drift_score(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def alarmed(self) -> bool:
+        return self._alarmed
+
+    def _publish(self) -> None:
+        """Re-evaluate the alarm state after an update."""
+        score = self.drift_score()
+        firing = (
+            self.samples >= self.min_samples and score > self.threshold
+        )
+        if firing and not self._alarmed:
+            self.alarms += 1
+            if self.registry is not None:
+                self.registry.inc("drift_alarms_total", monitor=self.name)
+        self._alarmed = firing
+        if self.registry is not None:
+            self.registry.set_gauge("drift_score", score, monitor=self.name)
+
+    def reset(self) -> None:
+        """Clear the rolling window (e.g. right after a retrain)."""
+        self._clear_window()
+        self._alarmed = False
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "drift_score", self.drift_score(), monitor=self.name
+            )
+
+    def _clear_window(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def status(self) -> dict:
+        """Healthz-ready summary."""
+        return {
+            "drift_score": round(self.drift_score(), 4),
+            "alarmed": self.alarmed,
+            "alarms": self.alarms,
+            "samples": self.samples,
+        }
+
+
+class ShadowAgreementMonitor(_BaseMonitor):
+    """Rolling active-vs-shadow verdict agreement.
+
+    ``drift_score`` is one minus the rolling agreement rate over the
+    last ``window`` shadow-scored submissions; the alarm fires when
+    agreement drops below ``1 - threshold`` with at least
+    ``min_samples`` in the window.  With no shadow staged the monitor
+    simply sees no updates and stays quiet.
+    """
+
+    def __init__(
+        self,
+        window: int = 200,
+        threshold: float = 0.1,
+        min_samples: int = 20,
+        registry: MetricsRegistry | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__("shadow_agreement", threshold, min_samples, registry)
+        self._window: deque[bool] = deque(maxlen=window)
+
+    @property
+    def samples(self) -> int:
+        return len(self._window)
+
+    def rolling_agreement(self) -> float | None:
+        """Agreement rate over the window (None while empty)."""
+        if not self._window:
+            return None
+        return sum(self._window) / len(self._window)
+
+    def drift_score(self) -> float:
+        rate = self.rolling_agreement()
+        return 0.0 if rate is None else 1.0 - rate
+
+    def update(self, agreed: bool) -> None:
+        self._window.append(bool(agreed))
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "serve_shadow_agreement_rolling", self.rolling_agreement()
+            )
+        self._publish()
+
+    def _clear_window(self) -> None:
+        self._window.clear()
+
+
+class RollingF1Monitor(_BaseMonitor):
+    """Rolling F1 over (predicted, actual) labeled-lag feedback pairs.
+
+    ``drift_score`` is one minus the rolling F1; the alarm fires when
+    F1 drops below ``1 - threshold``.  Windows without a single
+    positive ground-truth label are treated as score 0 (nothing to
+    decay against) rather than as total failure.
+    """
+
+    def __init__(
+        self,
+        window: int = 500,
+        threshold: float = 0.2,
+        min_samples: int = 30,
+        registry: MetricsRegistry | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__("rolling_f1", threshold, min_samples, registry)
+        self._window: deque[tuple[bool, bool]] = deque(maxlen=window)
+
+    @property
+    def samples(self) -> int:
+        return len(self._window)
+
+    def rolling_f1(self) -> float | None:
+        """F1 over the window (None while empty or all-benign)."""
+        if not self._window:
+            return None
+        pred = np.fromiter(
+            (p for p, _ in self._window), dtype=bool, count=len(self._window)
+        )
+        actual = np.fromiter(
+            (a for _, a in self._window), dtype=bool, count=len(self._window)
+        )
+        if not actual.any():
+            return None
+        return evaluate(actual, pred).f1
+
+    def drift_score(self) -> float:
+        f1 = self.rolling_f1()
+        return 0.0 if f1 is None else 1.0 - f1
+
+    def update(self, predicted: bool, actual: bool) -> None:
+        self._window.append((bool(predicted), bool(actual)))
+        self._publish()
+
+    def update_many(self, predicted, actual) -> None:
+        for p, a in zip(predicted, actual):
+            self._window.append((bool(p), bool(a)))
+        self._publish()
+
+    def _clear_window(self) -> None:
+        self._window.clear()
+
+
+class PsiMonitor(_BaseMonitor):
+    """Population stability index over feature-column frequencies.
+
+    The reference distribution is the per-column activation frequency
+    of the training :class:`~repro.core.features.FeatureBlock`
+    (``matrix.mean(axis=0)``); live batches accumulate into a rolling
+    window of the last ``window`` rows.  ``drift_score`` is the PSI
+
+        ``sum((p - q) * ln(p / q))``
+
+    over smoothed frequencies — by convention < 0.1 is stable,
+    0.1–0.25 moderate, > 0.25 (the default threshold) a major shift.
+    """
+
+    def __init__(
+        self,
+        window: int = 1000,
+        threshold: float = 0.25,
+        min_samples: int = 50,
+        smoothing: float = 1e-3,
+        registry: MetricsRegistry | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        super().__init__("psi", threshold, min_samples, registry)
+        self.window = window
+        self.smoothing = smoothing
+        self._reference: np.ndarray | None = None
+        self._batches: deque[tuple[np.ndarray, int]] = deque()
+        self._rows = 0
+
+    @property
+    def samples(self) -> int:
+        return self._rows
+
+    def set_reference(self, block_or_freqs) -> None:
+        """Fix the training-time column frequencies to compare against.
+
+        Accepts a :class:`FeatureBlock`, a 2-D 0/1 matrix, or a 1-D
+        frequency vector.  Resets the live window — a new reference
+        means a new model generation.
+        """
+        self._reference = self._frequencies_of(block_or_freqs)
+        self.reset()
+
+    @staticmethod
+    def _frequencies_of(block_or_freqs) -> np.ndarray:
+        matrix = getattr(block_or_freqs, "matrix", block_or_freqs)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim == 2:
+            if matrix.shape[0] == 0:
+                raise ValueError("cannot take frequencies of an empty block")
+            return matrix.mean(axis=0)
+        if matrix.ndim == 1:
+            return matrix
+        raise ValueError("expected a FeatureBlock, matrix, or vector")
+
+    def update(self, block_or_matrix) -> None:
+        """Fold one live batch's rows into the rolling window."""
+        if self._reference is None:
+            raise RuntimeError(
+                "PsiMonitor.set_reference must be called before update"
+            )
+        matrix = getattr(block_or_matrix, "matrix", block_or_matrix)
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("expected a FeatureBlock or 2-D matrix")
+        if matrix.shape[1] != self._reference.size:
+            raise ValueError(
+                f"column count {matrix.shape[1]} does not match the "
+                f"reference ({self._reference.size}); did the feature "
+                "space change without set_reference?"
+            )
+        if matrix.shape[0] == 0:
+            return
+        self._batches.append(
+            (matrix.sum(axis=0, dtype=np.int64), matrix.shape[0])
+        )
+        self._rows += matrix.shape[0]
+        while self._rows - self._batches[0][1] >= self.window:
+            _, n = self._batches.popleft()
+            self._rows -= n
+        self._publish()
+
+    def psi(self) -> float:
+        """The index over the current window (0 while empty)."""
+        if self._reference is None or self._rows == 0:
+            return 0.0
+        counts = np.sum([c for c, _ in self._batches], axis=0)
+        live = counts / self._rows
+        eps = self.smoothing
+        p = np.clip(self._reference, eps, 1.0 - eps)
+        q = np.clip(live, eps, 1.0 - eps)
+        # Each binary column is a two-bucket distribution (on/off);
+        # sum the PSI contribution of both buckets over all columns.
+        on = (q - p) * np.log(q / p)
+        off = ((1 - q) - (1 - p)) * np.log((1 - q) / (1 - p))
+        return float(np.mean(on + off))
+
+    def drift_score(self) -> float:
+        return self.psi()
+
+    def _clear_window(self) -> None:
+        self._batches.clear()
+        self._rows = 0
+
+
+class DriftMonitorBank:
+    """The serving tier's drift surface: update fan-out + healthz status.
+
+    Args:
+        shadow: rolling shadow-agreement monitor (None disables).
+        f1: rolling labeled-lag F1 monitor (None disables).
+        psi: feature-frequency stability monitor (None disables).
+        registry: metrics registry injected into monitors built by
+            :meth:`default`.
+    """
+
+    def __init__(
+        self,
+        shadow: ShadowAgreementMonitor | None = None,
+        f1: RollingF1Monitor | None = None,
+        psi: PsiMonitor | None = None,
+    ):
+        self.shadow = shadow
+        self.f1 = f1
+        self.psi = psi
+        if not any((shadow, f1, psi)):
+            raise ValueError("a DriftMonitorBank needs at least one monitor")
+
+    @classmethod
+    def default(
+        cls, registry: MetricsRegistry | None = None
+    ) -> "DriftMonitorBank":
+        """All three monitors at their default calibration."""
+        return cls(
+            shadow=ShadowAgreementMonitor(registry=registry),
+            f1=RollingF1Monitor(registry=registry),
+            psi=PsiMonitor(registry=registry),
+        )
+
+    @property
+    def monitors(self) -> list[_BaseMonitor]:
+        return [m for m in (self.shadow, self.f1, self.psi) if m is not None]
+
+    # -- update fan-out -------------------------------------------------
+
+    def record_shadow(self, agreed: bool) -> None:
+        if self.shadow is not None:
+            self.shadow.update(agreed)
+
+    def record_feedback(self, predicted: bool, actual: bool) -> None:
+        if self.f1 is not None:
+            self.f1.update(predicted, actual)
+
+    def record_block(self, block_or_matrix) -> None:
+        """PSI update; a no-op until a reference is set."""
+        if self.psi is not None and self.psi._reference is not None:
+            self.psi.update(block_or_matrix)
+
+    def set_psi_reference(self, block_or_freqs) -> None:
+        if self.psi is not None:
+            self.psi.set_reference(block_or_freqs)
+
+    def reset(self) -> None:
+        """Clear every window (a new model generation took over)."""
+        for monitor in self.monitors:
+            monitor.reset()
+
+    # -- read side ------------------------------------------------------
+
+    @property
+    def alarmed(self) -> bool:
+        return any(m.alarmed for m in self.monitors)
+
+    @property
+    def alarms_total(self) -> int:
+        return sum(m.alarms for m in self.monitors)
+
+    def worst(self) -> tuple[str, float]:
+        """(monitor name, drift score) of the most drifted monitor."""
+        scored = [(m.name, m.drift_score()) for m in self.monitors]
+        return max(scored, key=lambda pair: pair[1])
+
+    def status(self) -> dict:
+        """Healthz payload: per-monitor status plus the rollup."""
+        return {
+            "alarmed": self.alarmed,
+            "alarms_total": self.alarms_total,
+            "monitors": {m.name: m.status() for m in self.monitors},
+        }

@@ -1,0 +1,434 @@
+"""Time-sliced drifting market: a seeded, deterministic drift model.
+
+The evolution experiments (§6) and every post-hoc study of Android
+malware detectors (ELSA, Muzaffar et al.) agree on the failure mode:
+feature-based detectors decay because the *world* moves — the SDK
+gains APIs and families adopt them, families rotate their playbooks,
+new families appear, and benign API fashion shifts underneath
+everything.  :class:`DriftingMarket` generates that world as a
+day-granular submission stream with three seeded drift mechanisms:
+
+1. **Per-SDK-release mutation within families** — every
+   ``sdk_release_every`` days the SDK gains ``sdk_growth`` APIs, new
+   malware-leaning APIs join some family signatures, and a few
+   existing families *rotate* a fraction of their signature onto fresh
+   discriminative APIs (:meth:`ArchetypeCatalog.mutate_signature`).
+2. **Scheduled new-family introduction** — at each day in
+   ``new_family_days`` an ``emergent_<k>`` family is registered whose
+   signature prefers discriminative APIs no existing family uses, so a
+   model trained before its debut is nearly blind to it.
+3. **Benign API fashion shift** — every ``fashion_shift_every`` days
+   the generator's Zipf-like breadth popularity is re-drawn
+   (:meth:`CorpusGenerator.refresh_breadth_pools`), moving the popular
+   head of ordinary-API usage.
+
+Everything is driven by ``numpy`` generators seeded from one ``seed``,
+and days are generated strictly in order (later requests are served
+from a cache), so slices are **byte-deterministic**: the same seed
+yields the same md5 sequence per day regardless of access order,
+re-runs, or how many workers later consume the slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.sdk import AndroidSdk
+from repro.corpus.families import BehaviorArchetype
+from repro.corpus.generator import (
+    AppCorpus,
+    CorpusGenerator,
+    PAPER_MALWARE_RATE,
+)
+from repro.corpus.market import MonthBatch, ReviewPipeline
+
+__all__ = [
+    "DaySlice",
+    "DriftEvent",
+    "DriftingMarket",
+    "DriftingMarketStream",
+    "SemesterSlice",
+]
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One drift-model action, applied at the start of ``day``."""
+
+    day: int
+    kind: str  # "sdk_release" | "signature_mutation" | "new_family" | "fashion_shift"
+    detail: str
+
+
+@dataclass(frozen=True)
+class DaySlice:
+    """One reviewed day of submissions.
+
+    Attributes:
+        day: 0-based day index; every app's ``submitted_day`` equals it.
+        corpus: the day's submissions.
+        market_labels: the review pipeline's (near ground truth) labels.
+        sdk: the SDK in force that day.
+        events: drift events applied at the start of this day.
+    """
+
+    day: int
+    corpus: AppCorpus
+    market_labels: np.ndarray
+    sdk: AndroidSdk
+    events: tuple[DriftEvent, ...]
+
+
+@dataclass(frozen=True)
+class SemesterSlice:
+    """A contiguous half-year (or ``semester_days``) of reviewed traffic."""
+
+    index: int
+    first_day: int
+    last_day: int
+    corpus: AppCorpus
+    market_labels: np.ndarray
+    sdk: AndroidSdk
+
+
+class DriftingMarket:
+    """Day-granular drifting submission stream with deterministic slices.
+
+    Args:
+        sdk: the launch SDK (grows over the horizon).
+        seed: master seed; fixes the whole horizon byte-for-byte.
+        apps_per_day: submissions per day slice.
+        days: horizon length in days.
+        malware_rate: share of malicious submissions (paper: ~7.7%).
+        update_fraction: probability a draw updates an earlier package.
+        sdk_release_every: days between SDK releases (0 disables).
+        sdk_growth: APIs added per release.
+        mutation_fraction: share of a family's non-canonical signature
+            rotated onto fresh APIs at each release.
+        mutated_families: malware families rotated per release.
+        new_family_days: days on which an emergent family debuts
+            (default: one debut at ~40% of the horizon).
+        new_family_weight: market weight of each emergent family
+            (existing malware weights sum to ~14).
+        fashion_shift_every: days between benign popularity re-draws
+            (0 disables; releases always refresh the pools).
+        semester_days: days per :meth:`semester` slice.
+    """
+
+    def __init__(
+        self,
+        sdk: AndroidSdk,
+        seed: int = 0,
+        apps_per_day: int = 40,
+        days: int = 360,
+        malware_rate: float = PAPER_MALWARE_RATE,
+        update_fraction: float = 0.85,
+        sdk_release_every: int = 90,
+        sdk_growth: int = 60,
+        mutation_fraction: float = 0.35,
+        mutated_families: int = 3,
+        new_family_days: tuple[int, ...] | None = None,
+        new_family_weight: float = 4.0,
+        fashion_shift_every: int = 120,
+        semester_days: int = 180,
+    ):
+        if apps_per_day <= 0:
+            raise ValueError("apps_per_day must be positive")
+        if days <= 0:
+            raise ValueError("days must be positive")
+        if semester_days <= 0:
+            raise ValueError("semester_days must be positive")
+        if not 0.0 <= mutation_fraction <= 1.0:
+            raise ValueError("mutation_fraction must be in [0, 1]")
+        self.sdk = sdk
+        self.apps_per_day = apps_per_day
+        self.days = days
+        self.malware_rate = malware_rate
+        self.update_fraction = update_fraction
+        self.sdk_release_every = sdk_release_every
+        self.sdk_growth = sdk_growth
+        self.mutation_fraction = mutation_fraction
+        self.mutated_families = mutated_families
+        if new_family_days is None:
+            new_family_days = (max(1, int(days * 0.4)),)
+        self.new_family_days = tuple(sorted(int(d) for d in new_family_days))
+        if any(d < 1 or d >= days for d in self.new_family_days):
+            raise ValueError("new_family_days must fall inside (0, days)")
+        self.new_family_weight = new_family_weight
+        self.fashion_shift_every = fashion_shift_every
+        self.semester_days = semester_days
+        self.generator = CorpusGenerator(sdk, seed=seed)
+        self.review = ReviewPipeline(seed=seed + 1)
+        self._drift_rng = np.random.default_rng(seed + 2)
+        self._slices: list[DaySlice] = []
+        self.events: list[DriftEvent] = []
+        self._n_emergent = 0
+
+    # ------------------------------------------------------------------
+    # Slice access
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, n_apps: int) -> AppCorpus:
+        """Pre-deployment (day 0, pre-drift) training corpus.
+
+        Shares the market's generator so training data and live traffic
+        come from the same behaviour world.  Must be drawn before any
+        day slice is generated — the bootstrap is part of the single
+        deterministic stream, so drawing it later would change every
+        subsequent slice.
+        """
+        if self._slices:
+            raise RuntimeError(
+                "bootstrap() must be called before any day slice is "
+                "generated (the market is one deterministic stream)"
+            )
+        rng = self.generator._rng  # noqa: SLF001 - shared stream by design
+        apps = []
+        for _ in range(n_apps):
+            malicious = bool(rng.random() < self.malware_rate)
+            apps.append(
+                self.generator.sample_app(
+                    malicious=malicious,
+                    day=0,
+                    update_prob=self.update_fraction,
+                )
+            )
+        return AppCorpus(self.sdk, apps)
+
+    def day_slice(self, day: int) -> DaySlice:
+        """The reviewed slice for one day (generated on demand).
+
+        Days are always generated in order and cached, so any access
+        pattern — sequential, random, repeated — observes the same
+        byte-identical slices.
+        """
+        if not 0 <= day < self.days:
+            raise ValueError(f"day {day} outside horizon [0, {self.days})")
+        while len(self._slices) <= day:
+            self._generate_day(len(self._slices))
+        return self._slices[day]
+
+    def day_slices(self, first_day: int, last_day: int) -> list[DaySlice]:
+        """Slices for ``[first_day, last_day]`` inclusive."""
+        if first_day > last_day:
+            raise ValueError("first_day must be <= last_day")
+        return [self.day_slice(d) for d in range(first_day, last_day + 1)]
+
+    @property
+    def n_semesters(self) -> int:
+        return (self.days + self.semester_days - 1) // self.semester_days
+
+    def semester(self, index: int) -> SemesterSlice:
+        """Concatenate one semester's day slices (ELSA-style test sets)."""
+        if not 0 <= index < self.n_semesters:
+            raise ValueError(
+                f"semester {index} outside [0, {self.n_semesters})"
+            )
+        first = index * self.semester_days
+        last = min(self.days, first + self.semester_days) - 1
+        slices = self.day_slices(first, last)
+        apps = [apk for s in slices for apk in s.corpus]
+        labels = np.concatenate([s.market_labels for s in slices])
+        return SemesterSlice(
+            index=index,
+            first_day=first,
+            last_day=last,
+            corpus=AppCorpus(self.sdk, apps),
+            market_labels=labels,
+            sdk=slices[-1].sdk,
+        )
+
+    # ------------------------------------------------------------------
+    # The drift model
+    # ------------------------------------------------------------------
+
+    def _generate_day(self, day: int) -> None:
+        events = self._apply_drift(day)
+        rng = self.generator._rng  # noqa: SLF001 - shared stream by design
+        apps = []
+        for _ in range(self.apps_per_day):
+            malicious = bool(rng.random() < self.malware_rate)
+            apps.append(
+                self.generator.sample_app(
+                    malicious=malicious,
+                    day=day,
+                    update_prob=self.update_fraction,
+                )
+            )
+        corpus = AppCorpus(self.sdk, apps)
+        labels = self.review.label_corpus(corpus)
+        self._slices.append(
+            DaySlice(day, corpus, labels, self.sdk, events)
+        )
+
+    def _apply_drift(self, day: int) -> tuple[DriftEvent, ...]:
+        events: list[DriftEvent] = []
+        released = (
+            self.sdk_release_every > 0
+            and day > 0
+            and day % self.sdk_release_every == 0
+        )
+        if released:
+            events.extend(self._release_sdk(day))
+        if day in self.new_family_days:
+            events.append(self._introduce_family(day))
+        if (
+            not released
+            and self.fashion_shift_every > 0
+            and day > 0
+            and day % self.fashion_shift_every == 0
+        ):
+            self.generator.refresh_breadth_pools(self._drift_rng)
+            events.append(
+                DriftEvent(day, "fashion_shift", "benign popularity re-drawn")
+            )
+        self.events.extend(events)
+        return tuple(events)
+
+    def _release_sdk(self, day: int) -> list[DriftEvent]:
+        """New SDK level: growth, adoption, and within-family rotation."""
+        rng = self._drift_rng
+        old_n = len(self.sdk)
+        new_sdk = self.sdk.extend(self.sdk_growth)
+        self.sdk = new_sdk
+        gen = self.generator
+        gen.sdk = new_sdk
+        gen.catalog.sdk = new_sdk
+        events = [
+            DriftEvent(
+                day, "sdk_release",
+                f"SDK grew {old_n} -> {len(new_sdk)} APIs",
+            )
+        ]
+        # Newly added malware-leaning APIs join some family signatures.
+        new_disc = new_sdk.discriminative_api_ids[
+            new_sdk.discriminative_api_ids >= old_n
+        ]
+        malware_names = gen.catalog.malware_names
+        for api_id in new_disc:
+            name = malware_names[int(rng.integers(len(malware_names)))]
+            gen.catalog.extend_signature(name, [int(api_id)])
+        # Within-family rotation: a few families move a slice of their
+        # playbook onto fresh APIs, eroding a stale model's key set.
+        n_mutate = min(self.mutated_families, len(malware_names))
+        if n_mutate and self.mutation_fraction > 0:
+            chosen = rng.choice(
+                len(malware_names), size=n_mutate, replace=False
+            )
+            for idx in sorted(int(i) for i in chosen):
+                name = malware_names[idx]
+                before = gen.catalog.signature_of(name).size
+                gen.catalog.mutate_signature(
+                    name, rng, fraction=self.mutation_fraction
+                )
+                events.append(
+                    DriftEvent(
+                        day, "signature_mutation",
+                        f"{name}: rotated ~{self.mutation_fraction:.0%} of "
+                        f"{before} signature APIs",
+                    )
+                )
+        # A release always reshuffles the ordinary-API fashion too.
+        gen.refresh_breadth_pools(rng)
+        return events
+
+    def _introduce_family(self, day: int) -> DriftEvent:
+        """Register an emergent malware family the old world never saw.
+
+        Its signature prefers discriminative APIs *unused* by every
+        existing family, so a model trained before the debut has those
+        columns dominated by benign traffic — the family lands almost
+        entirely as false negatives until a retrain re-mines the key
+        set over post-debut data.
+        """
+        rng = self._drift_rng
+        self._n_emergent += 1
+        name = f"emergent_{self._n_emergent}"
+        catalog = self.generator.catalog
+        pool = self.sdk.discriminative_api_ids
+        used = np.unique(np.concatenate(list(catalog.signatures.values())))
+        fresh = pool[~np.isin(pool, used)]
+        size = 16
+        take = min(size, fresh.size)
+        signature = (
+            rng.choice(fresh, size=take, replace=False)
+            if take else np.array([], dtype=int)
+        )
+        if take < size:
+            rest = pool[~np.isin(pool, signature)]
+            extra = rng.choice(
+                rest, size=min(size - take, rest.size), replace=False
+            )
+            signature = np.concatenate([signature, extra])
+        archetype = BehaviorArchetype(
+            name=name,
+            malicious=True,
+            weight=self.new_family_weight,
+            signature_size=size,
+            signature_use_prob=0.85,
+            signature_use_jitter=0.2,
+            restricted_draw=(2, 0.35),
+            sensitive_draw=(2, 0.35),
+            breadth_mean=90.0,
+            rate_intensity=1.2,
+            probe_prob=0.1,
+            dynamic_loading_prob=0.2,
+            native_prob=0.3,
+            obfuscation_prob=0.3,
+            n_activities_mean=8.0,
+            size_mb_mean=14.0,
+        )
+        catalog.register(archetype, signature=signature)
+        return DriftEvent(
+            day, "new_family",
+            f"{name} debuts with {int(signature.size)} signature APIs",
+        )
+
+
+class DriftingMarketStream:
+    """Adapter: a :class:`DriftingMarket` as an evolution-loop stream.
+
+    Presents the ``MarketStream`` protocol
+    (:meth:`bootstrap_corpus` / :meth:`next_month` / ``.sdk``) over
+    consecutive ``period_days``-day windows of the drifting market, so
+    :class:`~repro.core.evolution.EvolutionLoop` — and any
+    :class:`~repro.drift.policy.RetrainPolicy` plugged into it — can
+    replay a drifting year without knowing about day slices.
+    """
+
+    def __init__(self, market: DriftingMarket, period_days: int = 30):
+        if period_days <= 0:
+            raise ValueError("period_days must be positive")
+        self.market = market
+        self.period_days = period_days
+        self._period = 0
+        self.last_events: tuple[DriftEvent, ...] = ()
+
+    @property
+    def sdk(self) -> AndroidSdk:
+        return self.market.sdk
+
+    @property
+    def n_periods(self) -> int:
+        return self.market.days // self.period_days
+
+    def bootstrap_corpus(self, n_apps: int) -> AppCorpus:
+        return self.market.bootstrap(n_apps)
+
+    def next_month(self) -> MonthBatch:
+        """The next period's reviewed traffic as one batch."""
+        if self._period >= self.n_periods:
+            raise StopIteration(
+                f"drifting horizon exhausted after {self.n_periods} periods"
+            )
+        first = self._period * self.period_days
+        slices = self.market.day_slices(first, first + self.period_days - 1)
+        self._period += 1
+        apps = [apk for s in slices for apk in s.corpus]
+        labels = np.concatenate([s.market_labels for s in slices])
+        self.last_events = tuple(e for s in slices for e in s.events)
+        return MonthBatch(
+            self._period, AppCorpus(self.sdk, apps), labels, self.sdk
+        )

@@ -1,0 +1,195 @@
+"""Pluggable retrain policies for the evolution loop.
+
+The paper retrains monthly (§5.3) — a calendar policy.  Calendar
+retraining burns a full study-and-refit cycle whether or not the world
+moved, and still reacts a half-period late when it moves mid-month.
+A :class:`RetrainPolicy` decides *when* the
+:class:`~repro.core.evolution.EvolutionLoop` fires its
+retrain-and-promote step instead:
+
+- :class:`MonthlyPolicy` — the paper's cadence (every ``every``
+  periods); the loop's default behaviour, now explicit.
+- :class:`DriftTriggeredPolicy` — retrain only when a
+  :class:`~repro.drift.detectors.DriftMonitorBank` alarms, with a
+  cooldown so one drawn-out drift episode triggers one retrain.
+- :class:`HybridPolicy` — drift-triggered plus a max-staleness
+  backstop: even a quiet world gets a retrain every
+  ``max_staleness`` periods.
+- :class:`NeverPolicy` — the no-evolution baseline the decay figure
+  is measured against.
+
+Policies are deliberately tiny state machines over
+``should_retrain(...)`` / ``record_retrain(...)`` so the loop, the
+serving tier, and the bench can share them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drift.detectors import DriftMonitorBank
+
+__all__ = [
+    "DriftTriggeredPolicy",
+    "HybridPolicy",
+    "MonthlyPolicy",
+    "NeverPolicy",
+    "RetrainDecision",
+    "RetrainPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetrainDecision:
+    """One policy verdict for one period."""
+
+    retrain: bool
+    reason: str
+    drift_score: float = 0.0
+
+
+class RetrainPolicy:
+    """Decides whether the loop retrains after a period's traffic.
+
+    Subclasses override :meth:`should_retrain`; the loop reports each
+    actually-executed retrain back via :meth:`record_retrain` so
+    cooldowns and staleness counters track reality (a gate-rejected
+    candidate still counts — the *work* was spent).
+    """
+
+    name = "base"
+
+    def should_retrain(
+        self,
+        period: int,
+        monitors: DriftMonitorBank | None = None,
+    ) -> RetrainDecision:
+        raise NotImplementedError
+
+    def record_retrain(self, period: int) -> None:
+        """Hook: the loop retrained at the end of ``period``."""
+
+
+class MonthlyPolicy(RetrainPolicy):
+    """The paper's calendar cadence: retrain every ``every`` periods."""
+
+    name = "monthly"
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+
+    def should_retrain(
+        self,
+        period: int,
+        monitors: DriftMonitorBank | None = None,
+    ) -> RetrainDecision:
+        due = period % self.every == 0
+        return RetrainDecision(
+            retrain=due,
+            reason=f"calendar: every {self.every} period(s)"
+            if due else "calendar: not due",
+        )
+
+
+class NeverPolicy(RetrainPolicy):
+    """No evolution: the initial model serves forever (decay baseline)."""
+
+    name = "never"
+
+    def should_retrain(
+        self,
+        period: int,
+        monitors: DriftMonitorBank | None = None,
+    ) -> RetrainDecision:
+        return RetrainDecision(retrain=False, reason="no-evolution baseline")
+
+
+class DriftTriggeredPolicy(RetrainPolicy):
+    """Retrain only when the monitor bank alarms.
+
+    Args:
+        cooldown: minimum periods between retrains — a drift episode
+            that outlives one retrain's recovery window should not
+            stack a second retrain onto an unrecovered model.
+    """
+
+    name = "drift_triggered"
+
+    def __init__(self, cooldown: int = 1):
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.cooldown = cooldown
+        self._last_retrain: int | None = None
+
+    def _cooling(self, period: int) -> bool:
+        return (
+            self._last_retrain is not None
+            and period - self._last_retrain <= self.cooldown
+        )
+
+    def should_retrain(
+        self,
+        period: int,
+        monitors: DriftMonitorBank | None = None,
+    ) -> RetrainDecision:
+        if monitors is None:
+            raise ValueError(
+                "DriftTriggeredPolicy needs a DriftMonitorBank"
+            )
+        name, score = monitors.worst()
+        if monitors.alarmed and not self._cooling(period):
+            return RetrainDecision(
+                retrain=True,
+                reason=f"drift alarm: {name} score {score:.3f}",
+                drift_score=score,
+            )
+        if monitors.alarmed:
+            return RetrainDecision(
+                retrain=False,
+                reason=f"drift alarm in cooldown ({name})",
+                drift_score=score,
+            )
+        return RetrainDecision(
+            retrain=False, reason="no drift alarm", drift_score=score
+        )
+
+    def record_retrain(self, period: int) -> None:
+        self._last_retrain = period
+
+
+class HybridPolicy(DriftTriggeredPolicy):
+    """Drift-triggered with a calendar backstop.
+
+    Fires on a drift alarm like :class:`DriftTriggeredPolicy`, and
+    additionally whenever ``max_staleness`` periods have passed since
+    the last retrain — bounding how stale the model can get when the
+    detectors stay quiet (e.g. slow drift below every threshold).
+    """
+
+    name = "hybrid"
+
+    def __init__(self, cooldown: int = 1, max_staleness: int = 6):
+        super().__init__(cooldown=cooldown)
+        if max_staleness < 1:
+            raise ValueError("max_staleness must be >= 1")
+        self.max_staleness = max_staleness
+
+    def should_retrain(
+        self,
+        period: int,
+        monitors: DriftMonitorBank | None = None,
+    ) -> RetrainDecision:
+        decision = super().should_retrain(period, monitors)
+        if decision.retrain:
+            return decision
+        last = self._last_retrain if self._last_retrain is not None else 0
+        if period - last >= self.max_staleness:
+            return RetrainDecision(
+                retrain=True,
+                reason=f"staleness backstop: {period - last} periods "
+                f"since last retrain",
+                drift_score=decision.drift_score,
+            )
+        return decision

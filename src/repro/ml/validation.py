@@ -4,6 +4,16 @@ The paper uses stratified 10-fold cross-validation and, per fold,
 removes from the *test* set any feature vector that also appears in the
 training set (identical one-hot rows would otherwise leak and inflate
 accuracy — exactly the data-leakage trap they call out).
+
+Time-aware splits (``chronological_split``, ``semester_slices``,
+``rolling_time_windows``) extend the same discipline to the temporal
+axis for the drift experiments (docs/drift.md): shuffled k-fold lets a
+model train on the future of its own test set, which hides exactly the
+decay those experiments measure.  Every time-aware splitter enforces a
+hard no-future-leakage guarantee — a returned train/test pair where any
+test timestamp does not strictly follow the train horizon is a bug, and
+:func:`assert_no_future_leakage` raises :class:`FutureLeakageError`
+before such a pair can escape.
 """
 
 from __future__ import annotations
@@ -47,6 +57,125 @@ def stratified_kfold(
         train_mask[test_idx] = False
         out.append((all_idx[train_mask], test_idx))
     return out
+
+
+class FutureLeakageError(ValueError):
+    """A time-aware split let a test sample precede its train horizon."""
+
+
+def _as_days(days) -> np.ndarray:
+    days = np.asarray(days)
+    if days.ndim != 1:
+        raise ValueError("days must be a 1-D array of timestamps")
+    return days.astype(np.int64)
+
+
+def assert_no_future_leakage(
+    days: np.ndarray,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+) -> None:
+    """The hard guarantee: every test day strictly follows every train day.
+
+    Raises:
+        FutureLeakageError: some test sample's timestamp does not
+            strictly exceed the train horizon (the latest train day),
+            or the index sets overlap.
+    """
+    days = _as_days(days)
+    train_idx = np.asarray(train_idx, dtype=int)
+    test_idx = np.asarray(test_idx, dtype=int)
+    if np.intersect1d(train_idx, test_idx).size:
+        raise FutureLeakageError("train and test index sets overlap")
+    if train_idx.size == 0 or test_idx.size == 0:
+        return
+    horizon = int(days[train_idx].max())
+    offender = days[test_idx].min()
+    if offender <= horizon:
+        raise FutureLeakageError(
+            f"test sample at day {int(offender)} does not follow the "
+            f"train horizon (day {horizon})"
+        )
+
+
+def chronological_split(
+    days: np.ndarray, train_horizon: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Train on the past, test on the future.
+
+    Train indices are samples with ``day <= train_horizon``; test
+    indices are samples with ``day > train_horizon``.  Either side may
+    be empty (a caller choosing a horizon outside the observed range
+    gets an empty side, not an exception); the no-future-leakage
+    guarantee is asserted before returning.
+    """
+    days = _as_days(days)
+    train_idx = np.flatnonzero(days <= int(train_horizon))
+    test_idx = np.flatnonzero(days > int(train_horizon))
+    assert_no_future_leakage(days, train_idx, test_idx)
+    return train_idx, test_idx
+
+
+def semester_slices(
+    days: np.ndarray, semester_days: int = 180
+) -> list[tuple[int, np.ndarray]]:
+    """Partition samples into consecutive ``semester_days`` buckets.
+
+    Returns ``(semester_index, indices)`` pairs for every non-empty
+    semester, ordered by time; indices within a semester keep their
+    original order.  Bucket 0 starts at the earliest observed day, so
+    the slicing is invariant to a global time offset.
+    """
+    if semester_days <= 0:
+        raise ValueError("semester_days must be positive")
+    days = _as_days(days)
+    if days.size == 0:
+        return []
+    buckets = (days - days.min()) // semester_days
+    return [
+        (int(s), np.flatnonzero(buckets == s))
+        for s in np.unique(buckets)
+    ]
+
+
+def rolling_time_windows(
+    days: np.ndarray,
+    train_days: int,
+    test_days: int,
+    step: int | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Rolling train-on-past/test-on-future windows.
+
+    Each window trains on ``[t0, t0 + train_days)`` and tests on
+    ``[t0 + train_days, t0 + train_days + test_days)``, advancing
+    ``step`` days (default: ``test_days``) between windows.  Windows
+    with an empty train or test side are dropped; every returned pair
+    passes :func:`assert_no_future_leakage`.
+    """
+    if train_days <= 0 or test_days <= 0:
+        raise ValueError("train_days and test_days must be positive")
+    step = test_days if step is None else step
+    if step <= 0:
+        raise ValueError("step must be positive")
+    days = _as_days(days)
+    if days.size == 0:
+        return []
+    start, end = int(days.min()), int(days.max())
+    windows = []
+    t0 = start
+    while t0 + train_days <= end:
+        train_idx = np.flatnonzero(
+            (days >= t0) & (days < t0 + train_days)
+        )
+        test_idx = np.flatnonzero(
+            (days >= t0 + train_days)
+            & (days < t0 + train_days + test_days)
+        )
+        if train_idx.size and test_idx.size:
+            assert_no_future_leakage(days, train_idx, test_idx)
+            windows.append((train_idx, test_idx))
+        t0 += step
+    return windows
 
 
 def _row_keys(X: np.ndarray) -> np.ndarray:

@@ -18,6 +18,12 @@ from repro.scenarios.campaign import (
     bundled_campaigns,
     campaign_by_name,
 )
+from repro.scenarios.driftyear import (
+    DriftDayReport,
+    DriftYearReport,
+    DriftYearRunner,
+    replay_drift_year,
+)
 from repro.scenarios.report import CampaignReport, DayReport
 from repro.scenarios.runner import CampaignRunner, run_campaign
 from repro.scenarios.traffic import PlannedSubmission, plan_traffic
@@ -28,9 +34,13 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "DayReport",
+    "DriftDayReport",
+    "DriftYearReport",
+    "DriftYearRunner",
     "PlannedSubmission",
     "bundled_campaigns",
     "campaign_by_name",
     "plan_traffic",
+    "replay_drift_year",
     "run_campaign",
 ]

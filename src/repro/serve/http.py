@@ -36,11 +36,9 @@ router and every shard worker::
 
     {"error": {"code": "<one of ERROR_CODES>", "message": "...", "md5": "..."?}}
 
-**Legacy aliases.**  The unprefixed PR 3 paths (``/submit``,
-``/result/<md5>``, ``/explain/<md5>``, ``/healthz``, ``/metrics``)
-answer ``301 Moved Permanently`` to their ``/v1`` successor with a
-``Deprecation: true`` header, for one release; clients must move to
-``/v1``.
+**Namespace.**  ``/v1`` is the only namespace: the unprefixed PR 3
+paths (``/submit``, ``/result/<md5>``, …) had a one-release redirect
+grace window, which has passed — they are plain 404s now.
 """
 
 from __future__ import annotations
@@ -122,8 +120,7 @@ class Response:
 
     ``payload`` (a dict) is serialized as JSON; ``text`` bodies carry
     ``content_type`` verbatim (the Prometheus exposition).  ``headers``
-    are extra response headers (alias redirects set ``Location`` and
-    ``Deprecation``).
+    are extra response headers (e.g. ``Retry-After`` backoff guidance).
     """
 
     status: int
@@ -343,32 +340,9 @@ class _Handler(BaseHTTPRequestHandler):
                 kwargs["body"] = body
             self._send(getattr(self.server.api, route.handler)(**kwargs))
             return
-        # Legacy unprefixed alias: 301 to the /v1 successor, flagged
-        # deprecated.  One release of grace, then these go away.
-        if not path.startswith(API_PREFIX):
-            target = API_PREFIX + path
-            if any(
-                r.method == method and r.pattern.match(target)
-                for r in self.server.routes
-            ):
-                self._send(
-                    Response(
-                        301,
-                        payload={
-                            "location": target,
-                            "deprecation": (
-                                "unversioned paths are deprecated; "
-                                f"use {target}"
-                            ),
-                        },
-                        headers=(
-                            ("Location", target),
-                            ("Deprecation", "true"),
-                            ("Link", f'<{target}>; rel="successor-version"'),
-                        ),
-                    )
-                )
-                return
+        # Unprefixed paths had a one-release redirect grace window
+        # after the /v1 namespace landed; the window has passed and
+        # they are plain 404s now.
         self._send(
             Response(
                 404,

@@ -118,6 +118,18 @@ class OnlineVettingService:
             service's cluster/workers/cache/pace configuration.  The
             shard tier injects per-shard objects here so worker
             processes share no mutable state.
+        drift_monitors: online drift detection over the live traffic —
+            a :class:`~repro.drift.detectors.DriftMonitorBank`,
+            ``True`` for the default bank (shadow agreement, labeled-lag
+            rolling F1, PSI), or ``None``/``False`` (default) to
+            disable.  The dispatcher feeds the shadow and PSI monitors
+            per scored batch (the PSI reference baselines itself from
+            the first scored traffic unless
+            :meth:`DriftMonitorBank.set_psi_reference` was called);
+            operators feed the rolling-F1 monitor by replaying market
+            review labels through :meth:`record_feedback`.  Status is
+            exported in :meth:`healthz` and the drift gauges/counters
+            land in the metrics exposition.
     """
 
     def __init__(
@@ -138,6 +150,7 @@ class OnlineVettingService:
         shard: tuple[int, int] | None = None,
         pace_seconds_per_minute: float = 0.0,
         pipeline_factory=None,
+        drift_monitors=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -190,6 +203,13 @@ class OnlineVettingService:
         #: (model version, ruleset version) -> compiled evaluator;
         #: populated lazily by the dispatcher thread (the only writer).
         self._evaluators: dict[tuple[int, int], RuleEvaluator] = {}
+        if drift_monitors is True:
+            from repro.drift.detectors import DriftMonitorBank
+
+            drift_monitors = DriftMonitorBank.default(registry=self.metrics)
+        elif drift_monitors is False:
+            drift_monitors = None
+        self.drift_monitors = drift_monitors
         self._accept_wall: dict[int, float] = {}
         self._stop = threading.Event()
         self._dispatcher: threading.Thread | None = None
@@ -302,8 +322,46 @@ class OnlineVettingService:
             "sha256": rv.sha256,
         }
 
+    def record_feedback(self, md5: str, malicious: bool) -> dict:
+        """Replay one market review label against a recorded verdict.
+
+        The labeled-lag feedback stream: review labels arrive
+        hours-to-days after the service's verdict.  For a terminal
+        ``done`` outcome the (predicted, actual) pair feeds the
+        rolling-F1 drift monitor; other states record nothing.
+
+        Returns ``{md5, recorded, predicted, actual}`` (``predicted``
+        is None when nothing was recorded).
+        """
+        actual = bool(malicious)
+        outcome = self.results.get(md5)
+        if outcome is None or outcome.get("status") != "done":
+            return {
+                "md5": md5,
+                "recorded": False,
+                "predicted": None,
+                "actual": actual,
+            }
+        self.metrics.inc("serve_feedback_total")
+        predicted = bool(outcome["malicious"])
+        if self.drift_monitors is not None:
+            self.drift_monitors.record_feedback(predicted, actual)
+        return {
+            "md5": md5,
+            "recorded": True,
+            "predicted": predicted,
+            "actual": actual,
+        }
+
     def healthz(self) -> dict:
         """Liveness/readiness summary for ``GET /v1/healthz``."""
+        n_scored, n_agree, rate = self.models.shadow_agreement()
+        rolling = None
+        if (
+            self.drift_monitors is not None
+            and self.drift_monitors.shadow is not None
+        ):
+            rolling = self.drift_monitors.shadow.rolling_agreement()
         health = {
             "status": "ok" if self.running else "stopped",
             "active_model_version": self.models.active_version,
@@ -314,6 +372,16 @@ class OnlineVettingService:
             "workers": self.workers,
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "shadow_agreement": {
+                "n_scored": n_scored,
+                "n_agree": n_agree,
+                "rate": rate,
+                "rolling": rolling,
+            },
+            "drift": (
+                self.drift_monitors.status()
+                if self.drift_monitors is not None else None
             ),
         }
         if self.shard is not None:
@@ -489,6 +557,19 @@ class OnlineVettingService:
                 shadow_verdicts = shadow_checker.verdicts_from_observations(
                     [a.observation for a in analyzed]
                 )
+            # Drift monitoring input: the batch's encoded feature rows
+            # under the serving model's space.  Encoded inside the
+            # lease (the space belongs to the leased checker), consumed
+            # outside it.
+            drift_matrix = None
+            if (
+                self.drift_monitors is not None
+                and self.drift_monitors.psi is not None
+                and analyzed
+            ):
+                drift_matrix = checker.feature_space.encode_batch(
+                    [a.observation for a in analyzed]
+                )
             outcomes: list[tuple[SubmissionRecord, dict, bool | None]] = []
             scored = 0
             for entry, analysis in zip(batch, result.analyses):
@@ -552,10 +633,21 @@ class OnlineVettingService:
         # Outside the lease: durably record outcomes and update tallies
         # (the shadow tally takes the registry's mutate lock, which must
         # never be acquired while holding a read lease).
+        if drift_matrix is not None:
+            psi = self.drift_monitors.psi
+            reference = psi._reference  # noqa: SLF001 - dispatcher-only
+            if reference is None or reference.size != drift_matrix.shape[1]:
+                # No operator-supplied training reference (or a model
+                # swap changed the feature space): baseline on the
+                # first traffic scored under this space.
+                psi.set_reference(drift_matrix)
+            self.drift_monitors.record_block(drift_matrix)
         for entry, outcome, agreed in outcomes:
             self.metrics.inc("serve_scored_total")
             if agreed is not None:
                 self.models.record_shadow_result(agreed)
+                if self.drift_monitors is not None:
+                    self.drift_monitors.record_shadow(agreed)
             if outcome["status"] == "failed":
                 self.metrics.inc("serve_failed_total")
             elif outcome.get("malicious"):

@@ -262,6 +262,12 @@ class ShardRouter:
             rules / pace_seconds_per_minute: per-shard service
             configuration, forwarded verbatim to each worker's
             :class:`OnlineVettingService`.
+        drift_monitors: ``True`` gives every worker its own default
+            :class:`~repro.drift.detectors.DriftMonitorBank` (monitor
+            objects cannot cross the spawn boundary, so only the flag
+            is forwarded); per-shard drift status is aggregated by
+            :meth:`healthz` and the drift gauges arrive with the
+            scraped per-shard metrics.
         metrics: the *router's* registry (request counters, shard-up
             gauges).  Worker registries are private to their processes
             and scraped over HTTP.
@@ -285,6 +291,7 @@ class ShardRouter:
         poll_seconds: float = 0.05,
         rules: bool = True,
         pace_seconds_per_minute: float = 0.0,
+        drift_monitors: bool = False,
         metrics: MetricsRegistry | None = None,
         mp_start: str = "spawn",
         start_timeout: float = 120.0,
@@ -308,6 +315,7 @@ class ShardRouter:
             "poll_seconds": poll_seconds,
             "rules": rules,
             "pace_seconds_per_minute": pace_seconds_per_minute,
+            "drift_monitors": bool(drift_monitors),
         }
         self.shards: dict[int, ShardHandle] = {}
         self._ctx = multiprocessing.get_context(mp_start)
@@ -588,6 +596,9 @@ class ShardRouter:
         depth = 0
         completed = 0
         all_ok = True
+        agree_scored = 0
+        agree_hits = 0
+        drift_alarmed = False
         for shard_id in range(self.n_shards):
             handle = self.shards.get(shard_id)
             try:
@@ -601,6 +612,12 @@ class ShardRouter:
                 shards.append(health)
                 depth += health.get("queue_depth", 0)
                 completed += health.get("completed", 0)
+                agreement = health.get("shadow_agreement") or {}
+                agree_scored += agreement.get("n_scored", 0)
+                agree_hits += agreement.get("n_agree", 0)
+                drift = health.get("drift")
+                if drift is not None and drift.get("alarmed"):
+                    drift_alarmed = True
                 all_ok &= health.get("status") == "ok"
             except ShardUnavailableError:
                 shards.append(
@@ -615,6 +632,14 @@ class ShardRouter:
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
+            "shadow_agreement": {
+                "n_scored": agree_scored,
+                "n_agree": agree_hits,
+                "rate": (
+                    agree_hits / agree_scored if agree_scored else 0.0
+                ),
+            },
+            "drift_alarmed": drift_alarmed,
             "shards": shards,
         }
 

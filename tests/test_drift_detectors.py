@@ -1,0 +1,217 @@
+"""Tests for the online drift monitors (repro.drift.detectors)."""
+
+import numpy as np
+import pytest
+
+from repro.drift import (
+    DriftMonitorBank,
+    PsiMonitor,
+    RollingF1Monitor,
+    ShadowAgreementMonitor,
+)
+from repro.obs import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Shadow agreement
+# ----------------------------------------------------------------------
+
+
+def test_shadow_rolling_agreement():
+    monitor = ShadowAgreementMonitor(window=4, min_samples=1)
+    assert monitor.rolling_agreement() is None
+    assert monitor.drift_score() == 0.0
+    for agreed in (True, True, False, True):
+        monitor.update(agreed)
+    assert monitor.rolling_agreement() == pytest.approx(0.75)
+    assert monitor.drift_score() == pytest.approx(0.25)
+    # The window rolls: four more disagreements evict the old votes.
+    for _ in range(4):
+        monitor.update(False)
+    assert monitor.rolling_agreement() == 0.0
+
+
+def test_shadow_alarm_needs_min_samples():
+    monitor = ShadowAgreementMonitor(
+        window=10, threshold=0.1, min_samples=5
+    )
+    for _ in range(4):
+        monitor.update(False)
+    assert not monitor.alarmed  # score 1.0 but only 4 samples
+    monitor.update(False)
+    assert monitor.alarmed
+
+
+def test_shadow_publishes_rolling_gauge():
+    registry = MetricsRegistry()
+    monitor = ShadowAgreementMonitor(window=4, registry=registry)
+    monitor.update(True)
+    monitor.update(False)
+    text = registry.to_prometheus()
+    assert "serve_shadow_agreement_rolling 0.5" in text
+    assert 'drift_score{monitor="shadow_agreement"} 0.5' in text
+
+
+# ----------------------------------------------------------------------
+# Rolling F1
+# ----------------------------------------------------------------------
+
+
+def test_rolling_f1_tracks_feedback():
+    monitor = RollingF1Monitor(window=100, min_samples=1)
+    assert monitor.rolling_f1() is None
+    monitor.update_many(
+        [True, True, False, False], [True, False, True, False]
+    )
+    # tp=1 fp=1 fn=1 -> precision=recall=f1=0.5
+    assert monitor.rolling_f1() == pytest.approx(0.5)
+    assert monitor.drift_score() == pytest.approx(0.5)
+
+
+def test_rolling_f1_all_benign_window_is_quiet():
+    monitor = RollingF1Monitor(window=10, threshold=0.2, min_samples=1)
+    for _ in range(5):
+        monitor.update(False, False)
+    assert monitor.rolling_f1() is None
+    assert monitor.drift_score() == 0.0
+    assert not monitor.alarmed
+
+
+def test_rolling_f1_alarm_edges():
+    monitor = RollingF1Monitor(window=8, threshold=0.2, min_samples=2)
+    # Miss every malicious sample: F1 collapses, alarm fires once.
+    for _ in range(4):
+        monitor.update(False, True)
+    assert monitor.alarmed
+    assert monitor.alarms == 1
+    # Still alarmed; the counter must not re-increment (edge-triggered).
+    monitor.update(False, True)
+    assert monitor.alarms == 1
+    # Recovery clears the alarm; a relapse counts a second alarm.
+    for _ in range(8):
+        monitor.update(True, True)
+    assert not monitor.alarmed
+    for _ in range(8):
+        monitor.update(False, True)
+    assert monitor.alarms == 2
+
+
+# ----------------------------------------------------------------------
+# PSI
+# ----------------------------------------------------------------------
+
+
+def test_psi_requires_reference():
+    monitor = PsiMonitor()
+    with pytest.raises(RuntimeError):
+        monitor.update(np.zeros((4, 3)))
+
+
+def test_psi_zero_on_identical_distribution(rng):
+    monitor = PsiMonitor(window=400, min_samples=10, threshold=0.25)
+    reference = (rng.random((200, 12)) < 0.3).astype(np.uint8)
+    monitor.set_reference(reference)
+    monitor.update(reference)
+    assert monitor.psi() == pytest.approx(0.0, abs=1e-9)
+    assert not monitor.alarmed
+
+
+def test_psi_fires_on_shifted_columns(rng):
+    monitor = PsiMonitor(window=400, min_samples=10, threshold=0.25)
+    monitor.set_reference((rng.random((300, 10)) < 0.1).astype(np.uint8))
+    shifted = (rng.random((300, 10)) < 0.9).astype(np.uint8)
+    monitor.update(shifted)
+    assert monitor.psi() > 0.25
+    assert monitor.alarmed
+    assert monitor.alarms == 1
+
+
+def test_psi_column_mismatch_is_loud(rng):
+    monitor = PsiMonitor()
+    monitor.set_reference(np.zeros((5, 4)))
+    with pytest.raises(ValueError):
+        monitor.update(np.zeros((5, 6)))
+
+
+def test_psi_window_eviction():
+    monitor = PsiMonitor(window=10, min_samples=1)
+    monitor.set_reference(np.full((4, 2), 0.5))
+    # Three 5-row batches: the first must be evicted to stay <= window.
+    for value in (0.0, 0.0, 1.0):
+        monitor.update(np.full((5, 2), value))
+    assert monitor.samples == 10
+    counts = np.sum([c for c, _ in monitor._batches], axis=0)
+    assert counts.tolist() == [5, 5]  # 0-batch + 1-batch remain
+
+
+def test_psi_accepts_frequency_vector_and_feature_block(rng):
+    class Block:
+        matrix = (rng.random((50, 6)) < 0.4).astype(np.uint8)
+
+    monitor = PsiMonitor(min_samples=1)
+    monitor.set_reference(np.full(6, 0.4))
+    monitor.update(Block())
+    assert monitor.samples == 50
+
+
+def test_set_reference_resets_the_window(rng):
+    monitor = PsiMonitor(min_samples=1)
+    monitor.set_reference(np.full(3, 0.5))
+    monitor.update(np.ones((20, 3)))
+    assert monitor.samples == 20
+    monitor.set_reference(np.full(3, 0.2))
+    assert monitor.samples == 0
+    assert monitor.psi() == 0.0
+
+
+# ----------------------------------------------------------------------
+# The bank
+# ----------------------------------------------------------------------
+
+
+def test_bank_requires_a_monitor():
+    with pytest.raises(ValueError):
+        DriftMonitorBank()
+
+
+def test_bank_default_wires_registry():
+    registry = MetricsRegistry()
+    bank = DriftMonitorBank.default(registry=registry)
+    assert len(bank.monitors) == 3
+    bank.record_shadow(False)
+    bank.record_feedback(True, False)
+    text = registry.to_prometheus()
+    assert 'drift_score{monitor="shadow_agreement"}' in text
+    assert 'drift_score{monitor="rolling_f1"}' in text
+
+
+def test_bank_psi_noop_until_reference(rng):
+    bank = DriftMonitorBank.default()
+    bank.record_block(np.ones((5, 4)))  # silently ignored
+    assert bank.psi.samples == 0
+    bank.set_psi_reference(np.full(4, 0.5))
+    bank.record_block(np.ones((5, 4)))
+    assert bank.psi.samples == 5
+
+
+def test_bank_rollup_and_worst():
+    bank = DriftMonitorBank(
+        f1=RollingF1Monitor(window=8, threshold=0.2, min_samples=2),
+        psi=PsiMonitor(min_samples=1),
+    )
+    assert not bank.alarmed
+    for _ in range(4):
+        bank.record_feedback(False, True)
+    assert bank.alarmed
+    assert bank.alarms_total == 1
+    name, score = bank.worst()
+    assert name == "rolling_f1"
+    assert score == pytest.approx(1.0)
+    status = bank.status()
+    assert status["alarmed"] is True
+    assert set(status["monitors"]) == {"rolling_f1", "psi"}
+    bank.reset()
+    assert not bank.alarmed
+    assert bank.f1.samples == 0
+    # Alarm totals survive a reset — they count episodes, not state.
+    assert bank.alarms_total == 1

@@ -1,0 +1,221 @@
+"""Retrain policies and drift-triggered evolution (repro.drift.policy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import EvolutionLoop
+from repro.drift import (
+    DriftingMarket,
+    DriftingMarketStream,
+    DriftMonitorBank,
+    DriftTriggeredPolicy,
+    HybridPolicy,
+    MonthlyPolicy,
+    NeverPolicy,
+    PsiMonitor,
+    RetrainDecision,
+    RollingF1Monitor,
+)
+
+
+def _alarmed_bank() -> DriftMonitorBank:
+    bank = DriftMonitorBank(
+        f1=RollingF1Monitor(window=8, threshold=0.2, min_samples=2)
+    )
+    for _ in range(4):
+        bank.record_feedback(False, True)
+    assert bank.alarmed
+    return bank
+
+
+def _quiet_bank() -> DriftMonitorBank:
+    bank = DriftMonitorBank(
+        f1=RollingF1Monitor(window=8, threshold=0.2, min_samples=2)
+    )
+    for _ in range(4):
+        bank.record_feedback(True, True)
+    return bank
+
+
+# ----------------------------------------------------------------------
+# Policy state machines
+# ----------------------------------------------------------------------
+
+
+def test_monthly_policy_cadence():
+    policy = MonthlyPolicy(every=3)
+    fired = [
+        p for p in range(1, 13) if policy.should_retrain(p).retrain
+    ]
+    assert fired == [3, 6, 9, 12]
+    with pytest.raises(ValueError):
+        MonthlyPolicy(every=0)
+
+
+def test_never_policy():
+    policy = NeverPolicy()
+    assert not any(
+        policy.should_retrain(p).retrain for p in range(1, 25)
+    )
+
+
+def test_drift_policy_requires_monitors():
+    with pytest.raises(ValueError):
+        DriftTriggeredPolicy().should_retrain(1, monitors=None)
+
+
+def test_drift_policy_fires_on_alarm_only():
+    policy = DriftTriggeredPolicy()
+    quiet = policy.should_retrain(1, monitors=_quiet_bank())
+    assert not quiet.retrain
+    assert quiet.reason == "no drift alarm"
+    loud = policy.should_retrain(1, monitors=_alarmed_bank())
+    assert loud.retrain
+    assert "rolling_f1" in loud.reason
+    assert loud.drift_score == pytest.approx(1.0)
+
+
+def test_drift_policy_cooldown():
+    policy = DriftTriggeredPolicy(cooldown=2)
+    bank = _alarmed_bank()
+    assert policy.should_retrain(5, monitors=bank).retrain
+    policy.record_retrain(5)
+    # Periods 6 and 7 are inside the cooldown even though the alarm
+    # still stands; period 8 may fire again.
+    for period in (6, 7):
+        decision = policy.should_retrain(period, monitors=bank)
+        assert not decision.retrain
+        assert "cooldown" in decision.reason
+    assert policy.should_retrain(8, monitors=bank).retrain
+
+
+def test_hybrid_policy_staleness_backstop():
+    policy = HybridPolicy(cooldown=1, max_staleness=4)
+    bank = _quiet_bank()
+    # No alarms: nothing until the staleness bound trips.
+    assert not policy.should_retrain(3, monitors=bank).retrain
+    stale = policy.should_retrain(4, monitors=bank)
+    assert stale.retrain
+    assert "staleness" in stale.reason
+    policy.record_retrain(4)
+    assert not policy.should_retrain(7, monitors=bank).retrain
+    assert policy.should_retrain(8, monitors=bank).retrain
+    # An alarm still preempts the calendar.
+    assert policy.should_retrain(9, monitors=_alarmed_bank()).retrain
+
+
+def test_retrain_decision_is_frozen():
+    decision = RetrainDecision(retrain=True, reason="x")
+    with pytest.raises(AttributeError):
+        decision.retrain = False
+
+
+# ----------------------------------------------------------------------
+# EvolutionLoop integration
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def drifting_stream_factory(sdk):
+    def factory():
+        market = DriftingMarket(
+            sdk,
+            seed=501,
+            apps_per_day=5,
+            days=90,
+            sdk_release_every=30,
+            sdk_growth=30,
+            new_family_days=(40,),
+            fashion_shift_every=0,
+        )
+        return DriftingMarketStream(market, period_days=30)
+
+    return factory
+
+
+def test_never_policy_never_retrains(drifting_stream_factory):
+    stream = drifting_stream_factory()
+    loop = EvolutionLoop(
+        stream,
+        stream.bootstrap_corpus(150),
+        max_pool=800,
+        checker_seed=502,
+        retrain_policy=NeverPolicy(),
+    )
+    records = loop.run(3)
+    assert loop.retrain_count == 0
+    assert all(not r.retrained for r in records)
+    assert all(r.decision is not None for r in records)
+    # The serving model never changed.
+    assert all(r.promotion is None for r in records)
+
+
+def test_policyless_loop_keeps_monthly_cadence(drifting_stream_factory):
+    stream = drifting_stream_factory()
+    loop = EvolutionLoop(
+        stream,
+        stream.bootstrap_corpus(150),
+        max_pool=800,
+        checker_seed=502,
+    )
+    records = loop.run(2)
+    assert loop.retrain_count == 2
+    assert all(r.retrained for r in records)
+    assert all(r.decision is None for r in records)
+
+
+def test_drift_triggered_loop_feeds_monitors(drifting_stream_factory):
+    stream = drifting_stream_factory()
+    bank = DriftMonitorBank(
+        f1=RollingF1Monitor(window=150, threshold=0.05, min_samples=20),
+        psi=PsiMonitor(window=300, min_samples=20),
+    )
+    loop = EvolutionLoop(
+        stream,
+        stream.bootstrap_corpus(150),
+        max_pool=800,
+        checker_seed=502,
+        retrain_policy=DriftTriggeredPolicy(cooldown=0),
+        monitors=bank,
+    )
+    # The PSI reference was baselined from the training pool at init.
+    assert bank.psi._reference is not None
+    records = loop.run(3)
+    # Every month fed the labeled-lag and PSI windows (or was consumed
+    # by a post-retrain rebaseline, which empties them again).
+    assert all(r.decision is not None for r in records)
+    retrained = [r for r in records if r.retrained]
+    for record in retrained:
+        assert "drift alarm" in record.decision.reason
+    assert loop.retrain_count == len(retrained)
+    if loop.retrain_count == 0:
+        # No alarm => windows hold the whole horizon's feedback.
+        assert bank.f1.samples > 0
+
+
+def test_rebaseline_on_adoption(drifting_stream_factory):
+    stream = drifting_stream_factory()
+    bank = DriftMonitorBank(
+        f1=RollingF1Monitor(window=150, threshold=0.0, min_samples=1),
+        psi=PsiMonitor(window=300, min_samples=20),
+    )
+    loop = EvolutionLoop(
+        stream,
+        stream.bootstrap_corpus(150),
+        max_pool=800,
+        checker_seed=502,
+        retrain_policy=DriftTriggeredPolicy(cooldown=0),
+        monitors=bank,
+    )
+    reference_before = bank.psi._reference.copy()
+    record = loop.run_month()
+    if record.retrained:
+        # Adoption rebaselined: windows were reset after the swap.
+        assert bank.f1.samples == 0
+        assert bank.psi._reference.size == (
+            loop.checker.feature_space.encode_batch(
+                loop._pool_obs[:1]
+            ).shape[1]
+        )
+    else:  # pragma: no cover - threshold 0 should always alarm
+        assert bank.psi._reference.size == reference_before.size

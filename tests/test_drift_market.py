@@ -1,0 +1,230 @@
+"""Tests for the time-sliced drifting market (repro.drift.market)."""
+
+import numpy as np
+import pytest
+
+from repro.drift import DriftingMarket, DriftingMarketStream
+
+
+def _market(sdk, **kwargs):
+    defaults = dict(
+        seed=77,
+        apps_per_day=6,
+        days=60,
+        sdk_release_every=20,
+        sdk_growth=40,
+        new_family_days=(30,),
+        fashion_shift_every=15,
+        semester_days=30,
+    )
+    defaults.update(kwargs)
+    return DriftingMarket(sdk, **defaults)
+
+
+def _digest(market, days):
+    out = []
+    for day in days:
+        sl = market.day_slice(day)
+        out.append(
+            (
+                tuple(apk.md5 for apk in sl.corpus),
+                tuple(np.asarray(sl.market_labels, dtype=bool).tolist()),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+
+def test_same_seed_markets_are_byte_identical(sdk):
+    days = [0, 7, 20, 30, 45]
+    a = _digest(_market(sdk), days)
+    b = _digest(_market(sdk), days)
+    assert a == b
+
+
+def test_access_order_does_not_change_slices(sdk):
+    forward = _market(sdk)
+    scattered = _market(sdk)
+    want = _digest(forward, range(40))
+    # Random-order and repeated access must see the same bytes.
+    order = [31, 2, 2, 39, 17, 0, 25, 31]
+    for day in order:
+        scattered.day_slice(day)
+    assert _digest(scattered, range(40)) == want
+
+
+def test_bootstrap_is_part_of_the_stream(sdk):
+    a = _market(sdk)
+    b = _market(sdk)
+    boot_a = a.bootstrap(40)
+    boot_b = b.bootstrap(40)
+    assert [x.md5 for x in boot_a] == [x.md5 for x in boot_b]
+    # Identical bootstraps leave identical tails.
+    assert _digest(a, [0, 10]) == _digest(b, [0, 10])
+
+
+def test_bootstrap_after_slices_is_rejected(sdk):
+    market = _market(sdk)
+    market.day_slice(0)
+    with pytest.raises(RuntimeError):
+        market.bootstrap(10)
+
+
+def test_different_seeds_diverge(sdk):
+    assert _digest(_market(sdk), [0]) != _digest(
+        _market(sdk, seed=78), [0]
+    )
+
+
+# ----------------------------------------------------------------------
+# The drift schedule
+# ----------------------------------------------------------------------
+
+
+def test_events_fire_on_schedule(sdk):
+    market = _market(sdk)
+    market.day_slice(59)  # generate the whole horizon
+    by_kind = {}
+    for event in market.events:
+        by_kind.setdefault(event.kind, []).append(event.day)
+    assert by_kind["sdk_release"] == [20, 40]
+    assert by_kind["new_family"] == [30]
+    # Only release days subsume the fashion shift (none land on 20/40).
+    assert by_kind["fashion_shift"] == [15, 30, 45]
+    assert all(d in (20, 40) for d in by_kind["signature_mutation"])
+
+
+def test_sdk_grows_and_slices_carry_their_sdk(sdk):
+    market = _market(sdk)
+    early = market.day_slice(5)
+    late = market.day_slice(45)
+    assert len(early.sdk) == len(sdk)
+    assert len(late.sdk) == len(sdk) + 2 * 40
+    assert market.day_slice(45) is late  # cached
+
+
+def test_day_slice_contents(sdk):
+    market = _market(sdk)
+    sl = market.day_slice(12)
+    assert sl.day == 12
+    assert len(sl.corpus) == 6
+    assert sl.market_labels.shape == (6,)
+    assert all(apk.submitted_day == 12 for apk in sl.corpus)
+
+
+def test_emergent_family_enters_traffic(sdk):
+    market = _market(
+        sdk, apps_per_day=30, days=45, new_family_days=(10,),
+        sdk_release_every=0, fashion_shift_every=0,
+    )
+    market.day_slice(44)
+    catalog = market.generator.catalog
+    assert "emergent_1" in catalog.malware_names
+    families = {
+        apk.family
+        for sl in market.day_slices(10, 44)
+        for apk in sl.corpus
+        if apk.is_malicious
+    }
+    assert "emergent_1" in families
+    # And never before its debut.
+    pre = {
+        apk.family
+        for sl in market.day_slices(0, 9)
+        for apk in sl.corpus
+    }
+    assert "emergent_1" not in pre
+
+
+def test_emergent_signature_prefers_unused_apis(sdk):
+    # Debut after a release so the grown discriminative pool has APIs
+    # no existing family uses yet.
+    market = _market(
+        sdk, new_family_days=(25,), sdk_release_every=20,
+        mutation_fraction=0.0, sdk_growth=80,
+    )
+    catalog = market.generator.catalog
+    market.day_slice(24)
+    pool = market.sdk.discriminative_api_ids
+    used_before = np.unique(
+        np.concatenate(list(catalog.signatures.values()))
+    )
+    n_fresh = int(np.sum(~np.isin(pool, used_before)))
+    market.day_slice(25)
+    signature = catalog.signature_of("emergent_1")
+    assert signature.size > 0
+    # Every available unused API is preferred before any reuse.
+    n_unused_taken = int(np.sum(~np.isin(signature, used_before)))
+    assert n_unused_taken == min(signature.size, n_fresh)
+    assert n_unused_taken > 0
+
+
+def test_horizon_and_argument_validation(sdk):
+    market = _market(sdk)
+    with pytest.raises(ValueError):
+        market.day_slice(60)
+    with pytest.raises(ValueError):
+        market.day_slice(-1)
+    with pytest.raises(ValueError):
+        _market(sdk, new_family_days=(60,))
+    with pytest.raises(ValueError):
+        _market(sdk, apps_per_day=0)
+    with pytest.raises(ValueError):
+        _market(sdk, mutation_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Semesters
+# ----------------------------------------------------------------------
+
+
+def test_semester_concatenates_days(sdk):
+    market = _market(sdk)
+    assert market.n_semesters == 2
+    second = market.semester(1)
+    assert (second.first_day, second.last_day) == (30, 59)
+    assert len(second.corpus) == 30 * 6
+    want = [
+        apk.md5 for sl in market.day_slices(30, 59) for apk in sl.corpus
+    ]
+    assert [apk.md5 for apk in second.corpus] == want
+    with pytest.raises(ValueError):
+        market.semester(2)
+
+
+# ----------------------------------------------------------------------
+# The stream adapter
+# ----------------------------------------------------------------------
+
+
+def test_stream_periods_match_day_slices(sdk):
+    stream = DriftingMarketStream(_market(sdk), period_days=20)
+    assert stream.n_periods == 3
+    batch = stream.next_month()
+    assert batch.month_index == 1
+    assert len(batch.corpus) == 20 * 6
+    reference = _market(sdk)
+    want = [
+        apk.md5 for sl in reference.day_slices(0, 19) for apk in sl.corpus
+    ]
+    assert [apk.md5 for apk in batch.corpus] == want
+
+
+def test_stream_exhausts_at_horizon(sdk):
+    stream = DriftingMarketStream(_market(sdk), period_days=30)
+    stream.next_month()
+    stream.next_month()
+    with pytest.raises(StopIteration):
+        stream.next_month()
+
+
+def test_stream_surfaces_drift_events(sdk):
+    stream = DriftingMarketStream(_market(sdk), period_days=30)
+    first = stream.next_month()
+    assert first.sdk is stream.sdk
+    kinds = {e.kind for e in stream.last_events}
+    assert "sdk_release" in kinds  # day 20 release rode period 1

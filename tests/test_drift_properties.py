@@ -1,0 +1,218 @@
+"""Property battery: time-aware splits and drifting-slice determinism.
+
+Two families of invariants, checked over arbitrary seeds/shapes:
+
+1. The time-aware validation helpers in :mod:`repro.ml.validation`
+   must never leak the future into training — for *every* timestamp
+   vector, no test index may precede (or tie) the train horizon.
+2. :class:`repro.drift.DriftingMarket` slices must be byte-identical
+   regardless of access order, partitioning, or how many simulated
+   consumers interleave their reads — the determinism the bench's
+   cross-arm comparisons and the CI gate stand on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.drift import DriftingMarket, DriftingMarketStream
+from repro.ml.validation import (
+    FutureLeakageError,
+    assert_no_future_leakage,
+    chronological_split,
+    rolling_time_windows,
+    semester_slices,
+)
+
+# One shared small SDK: generating SDKs per example would dominate time.
+_SDK = None
+
+
+def _sdk():
+    global _SDK
+    if _SDK is None:
+        from repro.android.sdk import AndroidSdk, SdkSpec
+
+        _SDK = AndroidSdk.generate(SdkSpec(n_apis=800, seed=321))
+    return _SDK
+
+
+def _market(seed):
+    return DriftingMarket(
+        _sdk(),
+        seed=seed,
+        apps_per_day=3,
+        days=24,
+        sdk_release_every=8,
+        sdk_growth=25,
+        new_family_days=(12,),
+        fashion_shift_every=6,
+    )
+
+
+def _md5s(market, days):
+    return [
+        apk.md5 for day in days for apk in market.day_slice(day).corpus
+    ]
+
+
+_DAYS = st.lists(st.integers(0, 400), min_size=2, max_size=80)
+
+
+# ----------------------------------------------------------------------
+# Time-aware splits never leak the future
+# ----------------------------------------------------------------------
+
+
+@given(days=_DAYS, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_chronological_split_never_leaks(days, data):
+    days = np.array(days)
+    horizon = data.draw(
+        st.integers(int(days.min()), int(days.max())), label="horizon"
+    )
+    train_idx, test_idx = chronological_split(days, horizon)
+    # Partition: every index lands on exactly one side.
+    merged = np.concatenate([train_idx, test_idx])
+    assert sorted(merged.tolist()) == list(range(len(days)))
+    # The guarantee itself: no test timestamp precedes (or ties) any
+    # train timestamp.
+    if train_idx.size and test_idx.size:
+        assert days[test_idx].min() > days[train_idx].max()
+    assert_no_future_leakage(days, train_idx, test_idx)
+
+
+@given(days=_DAYS)
+@settings(max_examples=60, deadline=None)
+def test_leakage_guard_rejects_time_reversal(days):
+    days = np.array(days)
+    order = np.argsort(days, kind="stable")
+    cut = len(days) // 2
+    train_idx, test_idx = order[cut:], order[:cut]
+    # Training on the future and testing on the past must be rejected
+    # whenever the two sides actually straddle a time boundary.
+    if (
+        train_idx.size
+        and test_idx.size
+        and days[test_idx].min() <= days[train_idx].max()
+    ):
+        with pytest.raises(FutureLeakageError):
+            assert_no_future_leakage(days, train_idx, test_idx)
+
+
+@given(days=_DAYS)
+@settings(max_examples=30, deadline=None)
+def test_leakage_guard_rejects_index_overlap(days):
+    days = np.array(days)
+    idx = np.arange(len(days))
+    with pytest.raises(FutureLeakageError):
+        assert_no_future_leakage(days, idx[: len(idx) // 2 + 1], idx)
+
+
+@given(
+    days=_DAYS,
+    train_days=st.integers(1, 60),
+    test_days=st.integers(1, 60),
+)
+@settings(max_examples=60, deadline=None)
+def test_rolling_windows_never_leak(days, train_days, test_days):
+    days = np.array(days)
+    for train_idx, test_idx in rolling_time_windows(
+        days, train_days=train_days, test_days=test_days
+    ):
+        assert train_idx.size and test_idx.size
+        assert days[test_idx].min() > days[train_idx].max()
+        # Window membership is bounded by the declared spans.
+        assert days[train_idx].max() - days[train_idx].min() < train_days
+        assert days[test_idx].max() - days[test_idx].min() < test_days
+
+
+@given(days=_DAYS, offset=st.integers(0, 1000), size=st.integers(1, 90))
+@settings(max_examples=60, deadline=None)
+def test_semester_slices_partition_and_shift_invariance(
+    days, offset, size
+):
+    days = np.array(days)
+    slices = semester_slices(days, semester_days=size)
+    merged = np.concatenate([idx for _, idx in slices])
+    assert sorted(merged.tolist()) == list(range(len(days)))
+    for index, idx in slices:
+        span = days[idx]
+        assert span.max() - span.min() < size
+    # Bucketing is relative to the earliest timestamp, so shifting the
+    # whole vector never regroups anything.
+    shifted = semester_slices(days + offset, semester_days=size)
+    assert [idx.tolist() for _, idx in shifted] == [
+        idx.tolist() for _, idx in slices
+    ]
+
+
+# ----------------------------------------------------------------------
+# Drifting slices are deterministic however they are consumed
+# ----------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 10_000), data=st.data())
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_slices_identical_across_access_orders(seed, data):
+    sequential = _market(seed)
+    want = _md5s(sequential, range(24))
+    scattered = _market(seed)
+    order = data.draw(
+        st.lists(st.integers(0, 23), min_size=1, max_size=10),
+        label="access order",
+    )
+    for day in order:
+        scattered.day_slice(day)
+    assert _md5s(scattered, range(24)) == want
+
+
+@given(seed=st.integers(0, 10_000), n_workers=st.integers(1, 5))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_slices_identical_across_worker_counts(seed, n_workers):
+    """N round-robin consumers see the same bytes as one consumer.
+
+    Models the sharded serving tier: however many workers pull day
+    slices (each reading its own residue class), the market hands every
+    one of them exactly what the single-consumer run saw.
+    """
+    single = _md5s(_market(seed), range(24))
+    fanned = _market(seed)
+    per_worker = {
+        w: _md5s(fanned, range(w, 24, n_workers))
+        for w in range(n_workers)
+    }
+    # Reassemble the round-robin reads into day order.
+    rebuilt = []
+    for day in range(24):
+        worker = day % n_workers
+        position = day // n_workers
+        rebuilt.extend(
+            per_worker[worker][position * 3:(position + 1) * 3]
+        )
+    assert rebuilt == single
+
+
+@given(seed=st.integers(0, 10_000), period=st.integers(1, 12))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_stream_partitioning_preserves_bytes(seed, period):
+    """Any period_days partition concatenates to the same stream."""
+    want = _md5s(_market(seed), range(24 - 24 % period))
+    stream = DriftingMarketStream(_market(seed), period_days=period)
+    got = []
+    for _ in range(stream.n_periods):
+        got.extend(apk.md5 for apk in stream.next_month().corpus)
+    assert got == want

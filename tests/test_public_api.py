@@ -27,27 +27,46 @@ PUBLIC_API = frozenset(
         "CampaignReport",
         "CampaignRunner",
         "CorpusGenerator",
+        "DaySlice",
+        "DriftDayReport",
+        "DriftEvent",
+        "DriftMonitorBank",
+        "DriftTriggeredPolicy",
+        "DriftYearReport",
+        "DriftYearRunner",
+        "DriftingMarket",
+        "DriftingMarketStream",
         "DynamicAnalysisEngine",
         "ERROR_CODES",
         "EngineStats",
         "EvolutionLoop",
         "FeatureMode",
         "FeatureSpace",
+        "FutureLeakageError",
+        "HybridPolicy",
         "KeyApiSelection",
         "MarketStream",
         "MetricsRegistry",
         "MinedRuleset",
         "ModelRegistry",
+        "MonthlyPolicy",
+        "NeverPolicy",
         "ObservationCache",
         "OnlineVettingService",
+        "PsiMonitor",
         "QueueFullError",
         "RandomForest",
+        "RetrainDecision",
+        "RetrainPolicy",
         "ReviewPipeline",
+        "RollingF1Monitor",
         "RuleEvaluator",
         "RuleHit",
         "RuleSpec",
         "RulesetRegistry",
         "SdkSpec",
+        "SemesterSlice",
+        "ShadowAgreementMonitor",
         "ShadowPromotionGate",
         "ShardRouter",
         "ShardUnavailableError",
@@ -59,9 +78,11 @@ PUBLIC_API = frozenset(
         "VettingPipeline",
         "VettingService",
         "WrongShardError",
+        "assert_no_future_leakage",
         "builtin_ruleset",
         "bundled_campaigns",
         "campaign_by_name",
+        "chronological_split",
         "default_registry",
         "diff_rulesets",
         "lint_ruleset",
@@ -71,8 +92,11 @@ PUBLIC_API = frozenset(
         "make_server",
         "mine_ruleset",
         "poison_labels",
+        "replay_drift_year",
+        "rolling_time_windows",
         "run_campaign",
         "select_key_apis",
+        "semester_slices",
         "shard_of",
         "span",
     }
@@ -143,6 +167,34 @@ def test_v1_route_table_is_locked():
         ("GET", r"^/v1/metrics$"),
         ("GET", r"^/v1/metrics\.json$"),
     }
+
+
+def test_legacy_alias_shims_stay_removed():
+    """The unprefixed-path 301 grace window closed in 1.6.0.
+
+    Two locks: every surviving route is versioned under ``/v1/``, and
+    no redirect machinery (``Deprecation``/``successor-version``
+    headers, 301 handling) lingers anywhere in the serving tier.
+    Re-adding either is a deliberate, reviewed decision — not drift.
+    """
+    from pathlib import Path
+
+    from repro.serve.http import ROUTES
+
+    for route in ROUTES:
+        assert route.pattern.pattern.startswith(r"^/v1/"), (
+            f"unversioned route crept back in: {route.pattern.pattern}"
+        )
+    serve_dir = Path(repro.__file__).resolve().parent / "serve"
+    offenders = []
+    for path in sorted(serve_dir.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for needle in ("Deprecation", "successor-version", "301"):
+            if needle in text:
+                offenders.append(f"{path.name}: {needle!r}")
+    assert not offenders, (
+        "legacy alias machinery resurfaced:\n" + "\n".join(offenders)
+    )
 
 
 def test_observability_surface_reexported():

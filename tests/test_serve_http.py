@@ -359,33 +359,31 @@ def test_error_codes_are_a_closed_set():
     }
 
 
-def test_legacy_paths_redirect_with_deprecation(served):
-    """Unprefixed PR 3 paths 301 to /v1 with a Deprecation header."""
+def test_legacy_unprefixed_paths_are_gone(served):
+    """The 301 alias grace window is over: unprefixed paths are 404s.
+
+    PR 3 introduced the unprefixed routes, PR 8 turned them into 301
+    aliases with Deprecation headers, and this release removes them.
+    They must 404 with the standard error envelope — no Location, no
+    Deprecation, no redirect for old clients to lean on.
+    """
     _, base = served
     for path in ("/healthz", "/metrics", "/result/deadbeef",
                  "/explain/deadbeef"):
         response, body = _raw(base, "GET", path)
-        assert response.status == 301, path
-        assert response.headers["Location"] == f"/v1{path.rstrip('/')}"
-        assert response.headers["Deprecation"] == "true"
-        assert "successor-version" in response.headers["Link"]
-        assert body["location"] == f"/v1{path}"
+        assert response.status == 404, path
+        assert body["error"]["code"] == "not_found"
+        assert "Location" not in response.headers, path
+        assert "Deprecation" not in response.headers, path
 
 
-def test_legacy_post_submit_redirects(served, generator):
+def test_legacy_post_submit_is_gone(served, generator):
     _, base = served
     body = json.dumps(apk_to_dict(generator.sample_app())).encode()
     response, payload = _raw(base, "POST", "/submit", body)
-    assert response.status == 301
-    assert response.headers["Location"] == "/v1/submit"
-    assert response.headers["Deprecation"] == "true"
-
-
-def test_legacy_get_clients_keep_working_via_redirect(served):
-    """urllib follows the 301, so unaware GET clients still function."""
-    _, base = served
-    status, health = _get(f"{base}/healthz")
-    assert status == 200 and health["status"] == "ok"
+    assert response.status == 404
+    assert payload["error"]["code"] == "not_found"
+    assert "Location" not in response.headers
 
 
 def test_unknown_legacy_path_is_404_not_redirect(served):

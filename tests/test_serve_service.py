@@ -257,3 +257,63 @@ def test_constructor_validation(models):
         OnlineVettingService(models, workers=0)
     with pytest.raises(ValueError):
         OnlineVettingService(models, batch_size=0)
+
+
+def test_drift_monitors_ride_live_traffic(models, fitted_checker, generator):
+    """drift_monitors=True wires the full loop: PSI auto-baseline,
+    shadow agreement feeding the rolling monitor, feedback feeding F1,
+    and everything surfacing in healthz + the metrics exposition."""
+    models.publish(fitted_checker)
+    models.stage_shadow(2)
+    apps = [generator.sample_app() for _ in range(8)]
+    with _service(models, drift_monitors=True) as service:
+        for apk in apps:
+            service.submit(apk)
+        assert service.drain(60.0)
+        for apk in apps:
+            outcome = service.result(apk.md5)
+            service.record_feedback(apk.md5, outcome["malicious"])
+        health = service.healthz()
+        text = service.metrics_text()
+    # The first scored batch auto-baselined the PSI reference.
+    assert service.drift_monitors.psi._reference is not None
+    assert service.drift_monitors.psi.samples > 0
+    agreement = health["shadow_agreement"]
+    assert agreement["n_scored"] == len(apps)
+    assert agreement["rolling"] == pytest.approx(agreement["rate"])
+    drift = health["drift"]
+    assert drift is not None and drift["alarmed"] is False
+    assert set(drift["monitors"]) >= {"shadow_agreement", "rolling_f1", "psi"}
+    assert 'drift_score{monitor="shadow_agreement"}' in text
+    assert "serve_shadow_agreement_rolling" in text
+    assert "serve_feedback_total 8" in text
+
+
+def test_drift_monitors_off_by_default(models, generator):
+    with _service(models) as service:
+        service.submit(generator.sample_app())
+        assert service.drain(60.0)
+        health = service.healthz()
+    assert service.drift_monitors is None
+    assert health["drift"] is None
+    assert health["shadow_agreement"]["rolling"] is None
+
+
+def test_record_feedback_only_counts_terminal_done(models, generator):
+    apk = generator.sample_app()
+    with _service(models, drift_monitors=True) as service:
+        # Unknown md5 and non-terminal states record nothing.
+        miss = service.record_feedback("ffffffff", True)
+        assert miss == {
+            "md5": "ffffffff",
+            "recorded": False,
+            "predicted": None,
+            "actual": True,
+        }
+        service.submit(apk)
+        assert service.drain(60.0)
+        verdict = service.result(apk.md5)["malicious"]
+        hit = service.record_feedback(apk.md5, not verdict)
+    assert hit["recorded"] and hit["predicted"] == verdict
+    assert service.metrics.value("serve_feedback_total") == 1
+    assert service.drift_monitors.f1.samples == 1
